@@ -1,0 +1,74 @@
+// Package swarmhints_test hosts one testing.B benchmark per table and
+// figure of the paper's evaluation (see DESIGN.md's per-experiment index).
+// Each benchmark regenerates its experiment at Tiny scale with a reduced
+// core sweep so `go test -bench=.` completes in minutes; use
+// `go run ./cmd/experiments -scale small` (or full) for the recorded
+// EXPERIMENTS.md numbers.
+package swarmhints_test
+
+import (
+	"io"
+	"testing"
+
+	"swarmhints/internal/bench"
+	"swarmhints/internal/exp"
+)
+
+func benchRunner() *exp.Runner {
+	o := exp.DefaultOptions(bench.Tiny)
+	o.Cores = []int{1, 4, 16, 64}
+	return exp.NewRunner(o)
+}
+
+func runExperiment(b *testing.B, fn func(*exp.Runner, io.Writer) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		if err := fn(r, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table I (benchmark inventory, 1-core
+// run-times, task functions, hint patterns).
+func BenchmarkTable1(b *testing.B) { runExperiment(b, exp.Table1) }
+
+// BenchmarkFig2 regenerates Fig. 2 (des under all four schedulers plus its
+// cycle breakdown).
+func BenchmarkFig2(b *testing.B) { runExperiment(b, exp.Fig2) }
+
+// BenchmarkFig3 regenerates Fig. 3 (classification of memory accesses).
+func BenchmarkFig3(b *testing.B) { runExperiment(b, exp.Fig3) }
+
+// BenchmarkFig4 regenerates Fig. 4 (Random/Stealing/Hints speedups for all
+// nine benchmarks).
+func BenchmarkFig4(b *testing.B) { runExperiment(b, exp.Fig4) }
+
+// BenchmarkFig5 regenerates Fig. 5 (cycle and NoC traffic breakdowns).
+func BenchmarkFig5(b *testing.B) { runExperiment(b, exp.Fig5) }
+
+// BenchmarkFig6 regenerates Fig. 6 (coarse- vs fine-grain access
+// classification).
+func BenchmarkFig6(b *testing.B) { runExperiment(b, exp.Fig6) }
+
+// BenchmarkFig7 regenerates Fig. 7 (coarse- vs fine-grain speedups).
+func BenchmarkFig7(b *testing.B) { runExperiment(b, exp.Fig7) }
+
+// BenchmarkFig8 regenerates Fig. 8 (fine-grain cycle and traffic
+// breakdowns).
+func BenchmarkFig8(b *testing.B) { runExperiment(b, exp.Fig8) }
+
+// BenchmarkFig10 regenerates Fig. 10 (LBHints speedups on all benchmarks).
+func BenchmarkFig10(b *testing.B) { runExperiment(b, exp.Fig10) }
+
+// BenchmarkFig11 regenerates Fig. 11 (cycle breakdowns under LBHints).
+func BenchmarkFig11(b *testing.B) { runExperiment(b, exp.Fig11) }
+
+// BenchmarkLBProxy regenerates the Sec. VI-A load-signal ablation
+// (committed cycles vs idle-task counts).
+func BenchmarkLBProxy(b *testing.B) { runExperiment(b, exp.LBProxy) }
+
+// BenchmarkSummary regenerates the Sec. VI-B aggregate numbers (gmean
+// speedups, wasted-work and traffic reductions).
+func BenchmarkSummary(b *testing.B) { runExperiment(b, exp.Summary) }

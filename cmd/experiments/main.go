@@ -1,0 +1,88 @@
+// Command experiments regenerates the paper's tables and figures
+// (DESIGN.md, per-experiment index). Each experiment prints the same rows
+// or series the paper reports, computed on the scaled synthetic inputs.
+//
+// Usage:
+//
+//	experiments -exp fig4 -scale small
+//	experiments -exp all -scale tiny          # quick smoke of everything
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"swarmhints/internal/bench"
+	"swarmhints/internal/exp"
+)
+
+func main() {
+	var (
+		expID     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scaleName = flag.String("scale", "small", "input scale: tiny|small|full")
+		seed      = flag.Int64("seed", 7, "workload seed")
+		cores     = flag.String("cores", "", "comma-separated core sweep override, e.g. 1,16,256")
+		list      = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Registry {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scale := bench.Small
+	switch strings.ToLower(*scaleName) {
+	case "tiny":
+		scale = bench.Tiny
+	case "small":
+		scale = bench.Small
+	case "full":
+		scale = bench.Full
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+	opt := exp.DefaultOptions(scale)
+	opt.Seed = *seed
+	if *cores != "" {
+		opt.Cores = nil
+		for _, part := range strings.Split(*cores, ",") {
+			var c int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &c); err != nil {
+				fatal(fmt.Errorf("bad -cores value %q", part))
+			}
+			opt.Cores = append(opt.Cores, c)
+		}
+	}
+	runner := exp.NewRunner(opt)
+
+	var todo []exp.Experiment
+	if *expID == "all" {
+		todo = exp.Registry
+	} else {
+		e, err := exp.Find(*expID)
+		if err != nil {
+			fatal(err)
+		}
+		todo = []exp.Experiment{e}
+	}
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		if err := e.Run(runner, os.Stdout); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Printf("--- %s done in %v ---\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

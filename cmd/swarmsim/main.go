@@ -1,0 +1,123 @@
+// Command swarmsim runs one benchmark under one scheduler on one machine
+// size and prints the run statistics: makespan, cycle breakdown, traffic
+// breakdown, and speculation counters.
+//
+// Usage:
+//
+//	swarmsim -bench sssp -sched hints -cores 64 -scale small
+//	swarmsim -bench des -sched lbhints -cores 256 -profile
+//	swarmsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"swarmhints/internal/bench"
+	"swarmhints/swarm"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "sssp", "benchmark name (see -list)")
+		schedName = flag.String("sched", "hints", "scheduler: random|stealing|hints|lbhints|lbidle")
+		cores     = flag.Int("cores", 64, "number of cores (1 or 4*K*K)")
+		scaleName = flag.String("scale", "small", "input scale: tiny|small|full")
+		seed      = flag.Int64("seed", 7, "workload seed")
+		profile   = flag.Bool("profile", false, "collect access classification (Fig. 3)")
+		validate  = flag.Bool("validate", true, "check the result against the serial reference")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:", strings.Join(bench.AllNames(), " "))
+		return
+	}
+
+	kind, err := parseSched(*schedName)
+	if err != nil {
+		fatal(err)
+	}
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	inst, err := bench.Build(*benchName, scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := swarm.ScaledConfig().WithCores(*cores)
+	cfg.Scheduler = kind
+	cfg.Profile = *profile
+	st, err := inst.Prog.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *validate {
+		if err := inst.Validate(); err != nil {
+			fatal(fmt.Errorf("validation failed: %w", err))
+		}
+	}
+
+	fmt.Printf("benchmark   %s (%s, hint pattern: %s)\n", inst.Name, *scaleName, inst.HintPattern)
+	fmt.Printf("machine     %d cores, scheduler %v\n", cfg.Cores(), kind)
+	fmt.Printf("makespan    %d cycles\n", st.Cycles)
+	fmt.Printf("tasks       %d committed, %d aborted attempts, %d squashed, %d spilled, %d stolen\n",
+		st.CommittedTasks, st.AbortedAttempts, st.SquashedTasks, st.SpilledTasks, st.StolenTasks)
+	b := st.Breakdown
+	total := float64(b.Total())
+	if total > 0 {
+		fmt.Printf("cycles      commit %.1f%%  abort %.1f%%  spill %.1f%%  stall %.1f%%  empty %.1f%%\n",
+			100*float64(b.Commit)/total, 100*float64(b.Abort)/total, 100*float64(b.Spill)/total,
+			100*float64(b.Stall)/total, 100*float64(b.Empty)/total)
+	}
+	fmt.Printf("traffic     mem %d  abort %d  task %d  gvt %d flits\n",
+		st.Traffic[0], st.Traffic[1], st.Traffic[2], st.Traffic[3])
+	fmt.Printf("caches      L1 %d  L2 %d  L3 %d hits, %d mem accesses\n",
+		st.Cache.L1Hits, st.Cache.L2Hits, st.Cache.L3Hits, st.Cache.MemAccesses)
+	if st.Classification != nil {
+		cl := st.Classification
+		fmt.Printf("accesses    multiRO %.3f  singleRO %.3f  multiRW %.3f  singleRW %.3f  args %.3f\n",
+			cl.MultiHintRO, cl.SingleHintRO, cl.MultiHintRW, cl.SingleHintRW, cl.Arguments)
+	}
+	if *validate {
+		fmt.Println("validation  OK (matches serial reference)")
+	}
+}
+
+func parseSched(s string) (swarm.SchedKind, error) {
+	switch strings.ToLower(s) {
+	case "random":
+		return swarm.Random, nil
+	case "stealing":
+		return swarm.Stealing, nil
+	case "hints":
+		return swarm.Hints, nil
+	case "lbhints":
+		return swarm.LBHints, nil
+	case "lbidle":
+		return swarm.LBIdleProxy, nil
+	}
+	return 0, fmt.Errorf("unknown scheduler %q", s)
+}
+
+func parseScale(s string) (bench.Scale, error) {
+	switch strings.ToLower(s) {
+	case "tiny":
+		return bench.Tiny, nil
+	case "small":
+		return bench.Small, nil
+	case "full":
+		return bench.Full, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swarmsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Circuitsim: discrete-event simulation of a digital circuit — the paper's
+// des benchmark and its Listing 1 running example — under all four
+// schedulers, including the data-centric load balancer of Sec. VI.
+//
+// Each task simulates one input toggle at one gate and enqueues toggle
+// events for the gate's fanout at ts+delay. The spatial hint is the gate
+// ID, so all events of a gate execute on one tile, serially.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swarmhints/internal/bench"
+	"swarmhints/swarm"
+)
+
+func main() {
+	const cores = 64
+	fmt.Println("des: carry-save adder array, event-driven gate simulation")
+	fmt.Printf("%-10s %10s %10s %10s %10s\n", "scheduler", "cycles", "aborts", "stalls", "traffic")
+	var base uint64
+	for _, kind := range []swarm.SchedKind{swarm.Random, swarm.Stealing, swarm.Hints, swarm.LBHints} {
+		inst, err := bench.Build("des", bench.Small, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := swarm.ScaledConfig().WithCores(cores)
+		cfg.Scheduler = kind
+		st, err := inst.Prog.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := inst.Validate(); err != nil {
+			log.Fatalf("%v: %v", kind, err)
+		}
+		if base == 0 {
+			base = st.Cycles
+		}
+		fmt.Printf("%-10v %10d %10d %10d %10d   (%.2fx vs Random)\n",
+			kind, st.Cycles, st.AbortedAttempts, st.Breakdown.Stall, st.TotalTraffic(),
+			float64(base)/float64(st.Cycles))
+	}
+	fmt.Println("\nAll four runs produce bit-identical gate outputs (validated against")
+	fmt.Println("a serial event-driven reference), demonstrating that speculation only")
+	fmt.Println("changes performance, never results.")
+}

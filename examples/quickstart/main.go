@@ -1,0 +1,69 @@
+// Quickstart: the smallest complete swarmhints program.
+//
+// A bank applies a stream of timestamped account updates (interest, fees).
+// Each update is one speculative task touching exactly one account, and its
+// spatial hint *is* the account id — the paper's canonical pattern: tasks
+// likely to access the same data get the same hint, so the hardware runs
+// them on the same tile and serializes them instead of letting them conflict
+// across the chip. Run it and compare the Random-vs-Hints statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swarmhints/swarm"
+)
+
+func main() {
+	const (
+		accounts = 512
+		updates  = 4000
+		cores    = 64
+	)
+	for _, kind := range []swarm.SchedKind{swarm.Random, swarm.Hints} {
+		p := swarm.NewProgram()
+
+		// Balances live in simulated memory; every account starts at 100.
+		balances := p.Mem.AllocWords(accounts)
+		for a := uint64(0); a < accounts; a++ {
+			p.Mem.StoreRaw(balances+a*8, 100)
+		}
+
+		update := p.Register("update", func(c *swarm.Ctx) {
+			acct, delta := c.Arg(0), c.Arg(1)
+			c.Write(balances+acct*8, c.Read(balances+acct*8)+delta)
+		})
+
+		// A deterministic pseudo-random update stream with popular accounts
+		// (skew is what makes conflicts frequent and spatial hints matter).
+		x := uint64(42)
+		var wantTotal uint64 = accounts * 100
+		for i := uint64(0); i < updates; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			acct := (x >> 33) % accounts
+			if x%3 == 0 {
+				acct %= 16 // hot accounts
+			}
+			delta := x >> 58
+			wantTotal += delta
+			// Timestamp = arrival order; hint = the account the task updates.
+			p.EnqueueRoot(update, i, acct, acct, delta)
+		}
+
+		cfg := swarm.ScaledConfig().WithCores(cores)
+		cfg.Scheduler = kind
+		st, err := p.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		var total uint64
+		for a := uint64(0); a < accounts; a++ {
+			total += p.Mem.Load(balances + a*8)
+		}
+		fmt.Printf("%-8v cycles=%-8d aborts=%-6d traffic=%-8d correct=%v\n",
+			kind, st.Cycles, st.AbortedAttempts, st.TotalTraffic(), total == wantTotal)
+	}
+	fmt.Println("\nSame hint -> same tile, serialized: conflicts become locality.")
+}

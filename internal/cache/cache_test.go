@@ -1,0 +1,180 @@
+package cache
+
+import (
+	"testing"
+
+	"swarmhints/internal/mem"
+	"swarmhints/internal/noc"
+)
+
+func newTestHierarchy(k, coresPerTile int) (*Hierarchy, *noc.Mesh) {
+	mesh := noc.New(k)
+	return New(ScaledConfig(), mesh, coresPerTile), mesh
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h, _ := newTestHierarchy(2, 2)
+	cold := h.Access(0, 0, 0x10000, false, noc.MsgMem)
+	hit := h.Access(0, 0, 0x10000, false, noc.MsgMem)
+	if cold <= hit {
+		t.Fatalf("cold miss (%d) must be slower than L1 hit (%d)", cold, hit)
+	}
+	if hit != ScaledConfig().L1Latency {
+		t.Fatalf("L1 hit latency = %d, want %d", hit, ScaledConfig().L1Latency)
+	}
+	s := h.Stats()
+	if s.L1Hits != 1 || s.MemAccesses != 1 {
+		t.Fatalf("stats = %+v, want 1 L1 hit and 1 mem access", s)
+	}
+}
+
+func TestSameLineDifferentWords(t *testing.T) {
+	h, _ := newTestHierarchy(2, 2)
+	h.Access(0, 0, 0x10000, false, noc.MsgMem)
+	lat := h.Access(0, 0, 0x10008, false, noc.MsgMem) // same 64B line
+	if lat != ScaledConfig().L1Latency {
+		t.Fatalf("same-line word missed L1: lat=%d", lat)
+	}
+}
+
+func TestL2SharedWithinTile(t *testing.T) {
+	h, _ := newTestHierarchy(2, 2)
+	h.Access(0, 0, 0x20000, false, noc.MsgMem) // core 0 fills L1+L2
+	lat := h.Access(1, 0, 0x20000, false, noc.MsgMem)
+	want := ScaledConfig().L1Latency + ScaledConfig().L2Latency
+	if lat != want {
+		t.Fatalf("sibling core L2 hit latency = %d, want %d", lat, want)
+	}
+}
+
+func TestRemoteWriteInvalidates(t *testing.T) {
+	h, _ := newTestHierarchy(2, 1)
+	addr := uint64(0x30000)
+	h.Access(0, 0, addr, false, noc.MsgMem) // tile 0 reads
+	h.Access(1, 1, addr, true, noc.MsgMem)  // tile 1 writes: must invalidate tile 0
+	if h.Stats().Invalidations == 0 {
+		t.Fatal("remote write did not invalidate the sharer")
+	}
+	// Tile 0 must now miss in L1/L2.
+	lat := h.Access(0, 0, addr, false, noc.MsgMem)
+	if lat <= ScaledConfig().L1Latency+ScaledConfig().L2Latency {
+		t.Fatalf("stale copy served after invalidation (lat=%d)", lat)
+	}
+}
+
+func TestDirtyRemoteForward(t *testing.T) {
+	h, _ := newTestHierarchy(2, 1)
+	addr := uint64(0x40000)
+	h.Access(0, 0, addr, true, noc.MsgMem) // tile 0 owns modified
+	h.Access(1, 1, addr, false, noc.MsgMem)
+	if h.Stats().RemoteForwards == 0 {
+		t.Fatal("read of a remotely-modified line did not forward")
+	}
+}
+
+func TestWriteAfterReadUpgrade(t *testing.T) {
+	h, _ := newTestHierarchy(2, 1)
+	addr := uint64(0x50000)
+	h.Access(0, 0, addr, false, noc.MsgMem)
+	h.Access(1, 1, addr, false, noc.MsgMem) // both tiles share
+	inv0 := h.Stats().Invalidations
+	h.Access(0, 0, addr, true, noc.MsgMem) // upgrade: invalidate tile 1
+	if h.Stats().Invalidations <= inv0 {
+		t.Fatal("upgrade write did not invalidate the other sharer")
+	}
+}
+
+func TestMemTrafficAccounted(t *testing.T) {
+	h, m := newTestHierarchy(2, 1)
+	h.Access(0, 0, 0x60000, false, noc.MsgMem)
+	if m.Flits(noc.MsgMem) == 0 {
+		t.Fatal("cold miss injected no NoC traffic")
+	}
+}
+
+func TestAbortClassTraffic(t *testing.T) {
+	h, m := newTestHierarchy(2, 1)
+	h.Access(0, 0, 0x70000, true, noc.MsgAbort)
+	if m.Flits(noc.MsgAbort) == 0 {
+		t.Fatal("abort-class access accounted as wrong class")
+	}
+	if m.Flits(noc.MsgMem) != 0 {
+		t.Fatal("abort-class access leaked into mem class")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	h, _ := newTestHierarchy(1, 1)
+	cfg := ScaledConfig()
+	// Touch far more distinct lines than L1 capacity; early lines must be
+	// evicted and miss again.
+	n := cfg.L1.Lines() * 4
+	for i := 0; i < n; i++ {
+		h.Access(0, 0, uint64(0x100000+i*mem.LineSize), false, noc.MsgMem)
+	}
+	lat := h.Access(0, 0, 0x100000, false, noc.MsgMem)
+	if lat == cfg.L1Latency {
+		t.Fatal("line survived far beyond L1 capacity")
+	}
+}
+
+func TestWriteMakesDirtyWriteback(t *testing.T) {
+	h, _ := newTestHierarchy(1, 1)
+	cfg := ScaledConfig()
+	// Dirty many lines, then overflow L2+L3 to force writebacks.
+	n := (cfg.L2.Lines() + cfg.L3Bank.Lines()) * 2
+	for i := 0; i < n; i++ {
+		h.Access(0, 0, uint64(0x200000+i*mem.LineSize), true, noc.MsgMem)
+	}
+	if h.Stats().Writebacks == 0 {
+		t.Fatal("no writebacks after overflowing dirty working set")
+	}
+}
+
+func TestLRUKeepsHotLine(t *testing.T) {
+	h, _ := newTestHierarchy(1, 1)
+	cfg := ScaledConfig()
+	hot := uint64(0x300000)
+	h.Access(0, 0, hot, false, noc.MsgMem)
+	// Touch a working set that fits easily in L2 while re-touching hot.
+	for i := 1; i < cfg.L1.Lines(); i++ {
+		h.Access(0, 0, hot+uint64(i*mem.LineSize*7), false, noc.MsgMem)
+		h.Access(0, 0, hot, false, noc.MsgMem)
+	}
+	lat := h.Access(0, 0, hot, false, noc.MsgMem)
+	if lat != cfg.L1Latency {
+		t.Fatalf("hot line evicted despite LRU (lat=%d)", lat)
+	}
+}
+
+func TestDefaultConfigMatchesTableII(t *testing.T) {
+	c := DefaultConfig()
+	if c.L1.SizeKB != 16 || c.L2.SizeKB != 256 || c.L3Bank.SizeKB != 1024 {
+		t.Fatalf("capacities diverge from Table II: %+v", c)
+	}
+	if c.L1Latency != 2 || c.L2Latency != 7 || c.L3Latency != 9 || c.MemLatency != 120 {
+		t.Fatalf("latencies diverge from Table II: %+v", c)
+	}
+}
+
+func TestFarTileCostsMore(t *testing.T) {
+	// The NUCA home of a line is fixed; a requester farther from that home
+	// must see a larger L2-miss latency than the home tile itself.
+	hA, _ := newTestHierarchy(8, 1)
+	line := uint64(0x90000)
+	home := hA.homeBank(line)
+	far := 0
+	best := -1
+	mesh := noc.New(8)
+	for tile := 0; tile < 64; tile++ {
+		if d := mesh.Latency(tile, home); d > best {
+			best, far = d, tile
+		}
+	}
+	latHome := hA.Access(home, home, line, false, noc.MsgMem)
+	hB, _ := newTestHierarchy(8, 1)
+	latFar := hB.Access(far, far, line, false, noc.MsgMem)
+	if latFar <= latHome {
+		t.Fatalf("far tile latency %d <= home tile latency %d", latFar, latHome)
+	}
+}

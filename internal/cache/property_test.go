@@ -1,0 +1,94 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swarmhints/internal/mem"
+	"swarmhints/internal/noc"
+)
+
+// TestLatencyBoundsProperty: any access sequence yields latencies within
+// [L1 hit, cold-miss worst case] and never panics.
+func TestLatencyBoundsProperty(t *testing.T) {
+	cfg := ScaledConfig()
+	mesh := noc.New(4)
+	worst := cfg.L1Latency + cfg.L2Latency + cfg.L3Latency + cfg.MemLatency +
+		8*(2*(4-1)+1) + 2*4 // generous NoC/invalidations slack
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(cfg, mesh, 2)
+		for i := 0; i < 2000; i++ {
+			core := rng.Intn(32)
+			tile := core / 2
+			addr := uint64(rng.Intn(4096)) * 8
+			lat := h.Access(core, tile, addr, rng.Intn(3) == 0, noc.MsgMem)
+			if lat < cfg.L1Latency || lat > worst {
+				t.Logf("latency %d out of [%d,%d]", lat, cfg.L1Latency, worst)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsMonotonicProperty: hit/miss counters never decrease and every
+// access lands in exactly one level's counter.
+func TestStatsMonotonicProperty(t *testing.T) {
+	mesh := noc.New(2)
+	h := New(ScaledConfig(), mesh, 1)
+	rng := rand.New(rand.NewSource(5))
+	var prev Stats
+	for i := 0; i < 3000; i++ {
+		h.Access(rng.Intn(4), rng.Intn(4), uint64(rng.Intn(512))*8, rng.Intn(2) == 0, noc.MsgMem)
+		s := h.Stats()
+		if s.L1Hits < prev.L1Hits || s.L2Hits < prev.L2Hits ||
+			s.L3Hits < prev.L3Hits || s.MemAccesses < prev.MemAccesses {
+			t.Fatal("cache stats went backwards")
+		}
+		total := s.L1Hits + s.L2Hits + s.L3Hits + s.MemAccesses
+		if total != uint64(i+1) {
+			t.Fatalf("access %d accounted %d times", i, total-uint64(i))
+		}
+		prev = s
+	}
+}
+
+// TestSingleCoreRepeatAccessConverges: repeatedly touching a working set
+// that fits in L1 must converge to all-L1-hits.
+func TestSingleCoreRepeatAccessConverges(t *testing.T) {
+	cfg := ScaledConfig()
+	h := New(cfg, noc.New(1), 1)
+	lines := cfg.L1.Lines() / 2
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < lines; i++ {
+			h.Access(0, 0, uint64(0x1000+i*mem.LineSize), false, noc.MsgMem)
+		}
+	}
+	before := h.Stats().L1Hits
+	for i := 0; i < lines; i++ {
+		if lat := h.Access(0, 0, uint64(0x1000+i*mem.LineSize), false, noc.MsgMem); lat != cfg.L1Latency {
+			t.Fatalf("line %d not L1-resident after warmup (lat=%d)", i, lat)
+		}
+	}
+	if h.Stats().L1Hits != before+uint64(lines) {
+		t.Fatal("hit accounting inconsistent")
+	}
+}
+
+// TestWriteReadOwnershipPingPong: two tiles alternately writing one line
+// must each invalidate the other — invalidations grow linearly.
+func TestWriteReadOwnershipPingPong(t *testing.T) {
+	h := New(ScaledConfig(), noc.New(2), 1)
+	addr := uint64(0x8000)
+	for i := 0; i < 20; i++ {
+		h.Access(i%2, i%2, addr, true, noc.MsgMem)
+	}
+	if inv := h.Stats().Invalidations; inv < 15 {
+		t.Fatalf("ping-pong writes caused only %d invalidations", inv)
+	}
+}

@@ -1,0 +1,229 @@
+package conflict
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swarmhints/internal/task"
+)
+
+func mk(id, ts uint64) *task.Task {
+	t := task.NewTask(id, 0, ts, task.HintNone, 0, nil)
+	t.State = task.Running
+	return t
+}
+
+// --- Bloom filter ---
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		var b Bloom
+		for _, a := range addrs {
+			b.Add(a)
+		}
+		for _, a := range addrs {
+			if !b.MayContain(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	// 2 Kbit / 8-way with ~64 inserted addresses should have a very low FP
+	// rate; sanity-check it stays under a generous bound.
+	var b Bloom
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 64; i++ {
+		b.Add(rng.Uint64())
+	}
+	fp := 0
+	const probes = 10_000
+	for i := 0; i < probes; i++ {
+		if b.MayContain(rng.Uint64()) {
+			fp++
+		}
+	}
+	if fp > probes/100 {
+		t.Fatalf("false positive rate too high: %d/%d", fp, probes)
+	}
+}
+
+func TestBloomIntersects(t *testing.T) {
+	var a, b Bloom
+	a.Add(100)
+	b.Add(100)
+	if !a.Intersects(&b) {
+		t.Fatal("filters sharing an element must intersect")
+	}
+	var c Bloom
+	c.Add(999)
+	var d Bloom
+	if c.Intersects(&d) {
+		t.Fatal("empty filter intersects nothing")
+	}
+}
+
+func TestBloomReset(t *testing.T) {
+	var b Bloom
+	b.Add(5)
+	b.Reset()
+	if b.MayContain(5) || b.Len() != 0 {
+		t.Fatal("reset did not clear the filter")
+	}
+}
+
+// --- Accessor index ---
+
+func TestLaterWritersDetectsFutureData(t *testing.T) {
+	ix := NewIndex()
+	early, late := mk(1, 10), mk(2, 20)
+	late.Writes = append(late.Writes, 0x100)
+	ix.OnWrite(late, 0x100)
+	got := ix.LaterWriters(0x100, early.Ord(), early)
+	if len(got) != 1 || got[0] != late {
+		t.Fatalf("later writer not found: %v", got)
+	}
+	// The later task reading data written earlier is fine (forwarding).
+	if got := ix.LaterWriters(0x100, task.Order{TS: 30, ID: 3}, nil); len(got) != 0 {
+		t.Fatal("earlier writer flagged as later")
+	}
+}
+
+func TestLaterAccessorsWriteConflict(t *testing.T) {
+	ix := NewIndex()
+	early, r, w := mk(1, 10), mk(2, 20), mk(3, 30)
+	ix.OnRead(r, 0x200)
+	r.Reads = append(r.Reads, 0x200)
+	ix.OnWrite(w, 0x200)
+	w.Writes = append(w.Writes, 0x200)
+	got := ix.LaterAccessors(0x200, early.Ord(), early)
+	if len(got) != 2 {
+		t.Fatalf("want both later reader and writer, got %d", len(got))
+	}
+}
+
+func TestCommittedTasksIgnored(t *testing.T) {
+	ix := NewIndex()
+	early, late := mk(1, 10), mk(2, 20)
+	ix.OnWrite(late, 0x300)
+	late.State = task.Committed
+	if got := ix.LaterWriters(0x300, early.Ord(), early); len(got) != 0 {
+		t.Fatal("committed task flagged as conflicting")
+	}
+}
+
+func TestRemoveUnregisters(t *testing.T) {
+	ix := NewIndex()
+	early, late := mk(1, 10), mk(2, 20)
+	ix.OnWrite(late, 0x400)
+	ix.OnRead(late, 0x408)
+	late.Writes = append(late.Writes, 0x400)
+	late.Reads = append(late.Reads, 0x408)
+	ix.Remove(late)
+	if got := ix.LaterWriters(0x400, early.Ord(), early); len(got) != 0 {
+		t.Fatal("removed task still registered")
+	}
+	if got := ix.LaterAccessors(0x408, early.Ord(), early); len(got) != 0 {
+		t.Fatal("removed reader still registered")
+	}
+}
+
+func TestSelfExcluded(t *testing.T) {
+	ix := NewIndex()
+	a := mk(1, 10)
+	ix.OnWrite(a, 0x500)
+	if got := ix.LaterWriters(0x500, task.Order{TS: 5}, a); len(got) != 0 {
+		t.Fatal("task conflicts with itself")
+	}
+}
+
+func TestAbortSetDescendants(t *testing.T) {
+	ix := NewIndex()
+	p := mk(1, 10)
+	c1, c2 := mk(2, 20), mk(3, 30)
+	gc := mk(4, 40)
+	c1.Parent, c2.Parent, gc.Parent = p, p, c1
+	p.Children = []*task.Task{c1, c2}
+	c1.Children = []*task.Task{gc}
+	set := ix.AbortSet(p)
+	if len(set) != 4 {
+		t.Fatalf("abort set size %d, want 4 (parent + 2 children + grandchild)", len(set))
+	}
+}
+
+func TestAbortSetDataDependents(t *testing.T) {
+	ix := NewIndex()
+	w := mk(1, 10)
+	r := mk(2, 20)
+	w.Writes = append(w.Writes, 0x600)
+	ix.OnWrite(w, 0x600)
+	ix.OnRead(r, 0x600)
+	r.Reads = append(r.Reads, 0x600)
+	set := ix.AbortSet(w)
+	if len(set) != 2 {
+		t.Fatalf("abort set %d, want writer + dependent reader", len(set))
+	}
+}
+
+func TestAbortSetCascade(t *testing.T) {
+	// w wrote X; r read X and wrote Y; s read Y. Aborting w must abort all 3.
+	ix := NewIndex()
+	w, r, s := mk(1, 10), mk(2, 20), mk(3, 30)
+	w.Writes = []uint64{0x700}
+	ix.OnWrite(w, 0x700)
+	r.Reads = []uint64{0x700}
+	ix.OnRead(r, 0x700)
+	r.Writes = []uint64{0x708}
+	ix.OnWrite(r, 0x708)
+	s.Reads = []uint64{0x708}
+	ix.OnRead(s, 0x708)
+	set := ix.AbortSet(w)
+	if len(set) != 3 {
+		t.Fatalf("cascade abort set %d, want 3", len(set))
+	}
+}
+
+func TestAbortSetExcludesEarlierTasks(t *testing.T) {
+	ix := NewIndex()
+	w := mk(5, 50)
+	earlier := mk(1, 10)
+	w.Writes = []uint64{0x800}
+	ix.OnWrite(w, 0x800)
+	ix.OnRead(earlier, 0x800)
+	earlier.Reads = []uint64{0x800}
+	set := ix.AbortSet(w)
+	if len(set) != 1 {
+		t.Fatalf("earlier-order reader wrongly aborted (set=%d)", len(set))
+	}
+}
+
+func TestAbortSetIdleTaskHasNoWrites(t *testing.T) {
+	ix := NewIndex()
+	p := mk(1, 10)
+	c := mk(2, 20)
+	c.Parent = p
+	c.State = task.Idle
+	p.Children = []*task.Task{c}
+	// Idle child never ran; it has no dependents to drag in.
+	set := ix.AbortSet(p)
+	if len(set) != 2 {
+		t.Fatalf("set=%d, want parent+idle child", len(set))
+	}
+}
+
+func TestComparisonsCounted(t *testing.T) {
+	ix := NewIndex()
+	w := mk(1, 10)
+	ix.OnWrite(w, 0x900)
+	before := ix.Comparisons
+	ix.LaterWriters(0x900, task.Order{TS: 1}, nil)
+	if ix.Comparisons <= before {
+		t.Fatal("timestamp comparisons not counted")
+	}
+}

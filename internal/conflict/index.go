@@ -1,0 +1,183 @@
+package conflict
+
+import "swarmhints/internal/task"
+
+// Index is the precise per-address accessor map used for conflict detection.
+// Swarm filters checks through Bloom signatures and then resolves precisely;
+// the Index is the resolution step. Word-granularity, like the undo logs.
+type Index struct {
+	m map[uint64]*entry
+	// Comparisons counts timestamp comparisons performed, which the
+	// simulator turns into conflict-check latency (Table II: 5 cycles +
+	// 1 cycle per timestamp compared).
+	Comparisons uint64
+}
+
+type entry struct {
+	readers []*task.Task
+	writers []*task.Task
+}
+
+// NewIndex returns an empty accessor index.
+func NewIndex() *Index {
+	return &Index{m: make(map[uint64]*entry)}
+}
+
+func (ix *Index) get(addr uint64) *entry {
+	e := ix.m[addr]
+	if e == nil {
+		e = &entry{}
+		ix.m[addr] = e
+	}
+	return e
+}
+
+// OnRead registers a speculative read.
+func (ix *Index) OnRead(t *task.Task, addr uint64) {
+	e := ix.get(addr)
+	e.readers = append(e.readers, t)
+}
+
+// OnWrite registers a speculative write.
+func (ix *Index) OnWrite(t *task.Task, addr uint64) {
+	e := ix.get(addr)
+	e.writers = append(e.writers, t)
+}
+
+// LaterWriters returns uncommitted writers of addr ordered after o,
+// excluding self. A read by a task ordered at o must abort these: the
+// reader must not observe data from its logical future.
+func (ix *Index) LaterWriters(addr uint64, o task.Order, self *task.Task) []*task.Task {
+	e := ix.m[addr]
+	if e == nil {
+		return nil
+	}
+	var out []*task.Task
+	for _, w := range e.writers {
+		ix.Comparisons++
+		if w != self && w.State != task.Committed && o.Before(w.Ord()) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// LatestEarlierWriter returns the latest-ordered uncommitted writer of addr
+// that precedes o, or nil. This is the producer whose value a read at order
+// o observes; the engine uses it to model forwarding latency — a consumer
+// cannot complete before the producer's execution produced the value.
+func (ix *Index) LatestEarlierWriter(addr uint64, o task.Order, self *task.Task) *task.Task {
+	e := ix.m[addr]
+	if e == nil {
+		return nil
+	}
+	var best *task.Task
+	for _, w := range e.writers {
+		ix.Comparisons++
+		if w != self && w.State != task.Committed && w.Ord().Before(o) {
+			if best == nil || best.Ord().Before(w.Ord()) {
+				best = w
+			}
+		}
+	}
+	return best
+}
+
+// LaterAccessors returns uncommitted tasks ordered after o that read or
+// wrote addr, excluding self. A write by a task ordered at o must abort all
+// of these (readers observed a stale value; writers' undo chains would
+// unwind incorrectly otherwise).
+func (ix *Index) LaterAccessors(addr uint64, o task.Order, self *task.Task) []*task.Task {
+	e := ix.m[addr]
+	if e == nil {
+		return nil
+	}
+	var out []*task.Task
+	seen := func(t *task.Task) bool {
+		for _, x := range out {
+			if x == t {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range e.readers {
+		ix.Comparisons++
+		if r != self && r.State != task.Committed && o.Before(r.Ord()) && !seen(r) {
+			out = append(out, r)
+		}
+	}
+	for _, w := range e.writers {
+		ix.Comparisons++
+		if w != self && w.State != task.Committed && o.Before(w.Ord()) && !seen(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Remove unregisters a task from every address it touched in its current
+// attempt. Call on commit and on abort (before ResetAttempt).
+func (ix *Index) Remove(t *task.Task) {
+	for _, a := range t.Reads {
+		if e := ix.m[a]; e != nil {
+			e.readers = removeTask(e.readers, t)
+			if len(e.readers) == 0 && len(e.writers) == 0 {
+				delete(ix.m, a)
+			}
+		}
+	}
+	for _, a := range t.Writes {
+		if e := ix.m[a]; e != nil {
+			e.writers = removeTask(e.writers, t)
+			if len(e.readers) == 0 && len(e.writers) == 0 {
+				delete(ix.m, a)
+			}
+		}
+	}
+}
+
+func removeTask(ts []*task.Task, t *task.Task) []*task.Task {
+	out := ts[:0]
+	for _, x := range ts {
+		if x != t {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// AbortSet computes the transitive closure of tasks that must abort when
+// the seed aborts: all non-committed descendants (children were created by
+// a mispeculating execution) and, for every address the aborting tasks
+// wrote, every uncommitted later-order reader or writer of that address
+// (data-dependent tasks, Sec. II-B: "on an abort, Swarm aborts only
+// descendants and data-dependent tasks"). The seed itself is included.
+func (ix *Index) AbortSet(seed *task.Task) []*task.Task {
+	inSet := map[*task.Task]bool{seed: true}
+	work := []*task.Task{seed}
+	var out []*task.Task
+	for len(work) > 0 {
+		t := work[len(work)-1]
+		work = work[:len(work)-1]
+		out = append(out, t)
+		for _, c := range t.Children {
+			if !inSet[c] && c.State != task.Committed && c.State != task.Squashed {
+				inSet[c] = true
+				work = append(work, c)
+			}
+		}
+		// Only tasks that actually executed have speculative writes.
+		if t.State == task.Running || t.State == task.Finished {
+			for _, a := range t.Writes {
+				for _, u := range ix.LaterAccessors(a, t.Ord(), t) {
+					if !inSet[u] {
+						inSet[u] = true
+						work = append(work, u)
+					}
+				}
+			}
+		}
+	}
+	return out
+}

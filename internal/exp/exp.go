@@ -1,0 +1,167 @@
+// Package exp is the experiment harness: one runner per table and figure of
+// the paper's evaluation (Sec. II-C, IV, V, VI), each regenerating the same
+// rows or series the paper reports, on the scaled synthetic inputs. The
+// per-experiment index lives in DESIGN.md; measured-vs-paper shapes are
+// recorded in EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"swarmhints/internal/bench"
+	"swarmhints/swarm"
+)
+
+// Options configures a harness run.
+type Options struct {
+	Scale    bench.Scale
+	Seed     int64
+	Cores    []int // sweep; nil = default for scale
+	MaxCores int   // single-point experiments; 0 = max of sweep
+	Validate bool  // validate each run against the serial reference
+}
+
+// DefaultOptions returns the standard configuration for a scale.
+func DefaultOptions(scale bench.Scale) Options {
+	o := Options{Scale: scale, Seed: 7, Validate: true}
+	switch scale {
+	case bench.Tiny:
+		o.Cores = []int{1, 4, 16, 64}
+	case bench.Small:
+		o.Cores = []int{1, 4, 16, 64, 144, 256}
+	default:
+		o.Cores = []int{1, 4, 16, 36, 64, 100, 144, 196, 256}
+	}
+	return o
+}
+
+func (o Options) maxCores() int {
+	if o.MaxCores > 0 {
+		return o.MaxCores
+	}
+	return o.Cores[len(o.Cores)-1]
+}
+
+// Runner executes experiments and caches per-configuration results so
+// multi-figure invocations don't repeat runs.
+type Runner struct {
+	opt   Options
+	cache map[string]*swarm.Stats
+}
+
+// NewRunner builds a runner.
+func NewRunner(opt Options) *Runner {
+	return &Runner{opt: opt, cache: make(map[string]*swarm.Stats)}
+}
+
+// Run executes one (benchmark, scheduler, cores) point, with optional
+// access profiling, validating against the serial reference when enabled.
+func (r *Runner) Run(name string, kind swarm.SchedKind, cores int, profile bool) (*swarm.Stats, error) {
+	key := fmt.Sprintf("%s/%v/%d/%v", name, kind, cores, profile)
+	if st, ok := r.cache[key]; ok {
+		return st, nil
+	}
+	inst, err := bench.Build(name, r.opt.Scale, r.opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := swarm.ScaledConfig().WithCores(cores)
+	cfg.Scheduler = kind
+	cfg.Profile = profile
+	cfg.MaxCycles = 20_000_000_000
+	st, err := inst.Prog.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s under %v at %d cores: %w", name, kind, cores, err)
+	}
+	if r.opt.Validate {
+		if err := inst.Validate(); err != nil {
+			return nil, fmt.Errorf("%s under %v at %d cores failed validation: %w", name, kind, cores, err)
+		}
+	}
+	r.cache[key] = st
+	return st, nil
+}
+
+// Speedup returns cycles(1 core) / cycles(cores) for a benchmark/scheduler.
+func (r *Runner) Speedup(name string, kind swarm.SchedKind, cores int) (float64, error) {
+	base, err := r.Run(name, swarm.Random, 1, false) // all schedulers equal at 1 core
+	if err != nil {
+		return 0, err
+	}
+	st, err := r.Run(name, kind, cores, false)
+	if err != nil {
+		return 0, err
+	}
+	return float64(base.Cycles) / float64(st.Cycles), nil
+}
+
+// Experiment is one table/figure regenerator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(r *Runner, w io.Writer) error
+}
+
+// Registry lists every experiment in paper order.
+var Registry = []Experiment{
+	{"table1", "Table I: benchmark inventory and 1-core run-times", Table1},
+	{"fig2", "Fig. 2: des under Random/Stealing/Hints/LBHints", Fig2},
+	{"fig3", "Fig. 3: classification of memory accesses (CG)", Fig3},
+	{"fig4", "Fig. 4: speedup of Random/Stealing/Hints, 9 benchmarks", Fig4},
+	{"fig5", "Fig. 5: cycle and NoC traffic breakdowns at max cores", Fig5},
+	{"fig6", "Fig. 6: CG vs FG access classification", Fig6},
+	{"fig7", "Fig. 7: CG vs FG speedups", Fig7},
+	{"fig8", "Fig. 8: FG cycle and traffic breakdowns", Fig8},
+	{"fig10", "Fig. 10: LBHints speedups, all benchmarks", Fig10},
+	{"fig11", "Fig. 11: cycle breakdowns with LBHints", Fig11},
+	{"lbproxy", "Sec. VI-A: committed-cycle vs idle-task load signals", LBProxy},
+	{"ablserial", "Ablation: hint mapping with vs without dispatch serialization", AblSerial},
+	{"summary", "Sec. VI-B: gmean speedups, wasted work, traffic", Summary},
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, error) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range Registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %v)", id, ids)
+}
+
+func gmean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// breakdownRow formats a cycle breakdown normalized to a reference total.
+func breakdownRow(b swarm.CycleBreakdown, ref float64) string {
+	f := func(x uint64) float64 { return float64(x) / ref }
+	return fmt.Sprintf("commit=%.3f abort=%.3f spill=%.3f stall=%.3f empty=%.3f total=%.3f",
+		f(b.Commit), f(b.Abort), f(b.Spill), f(b.Stall), f(b.Empty), f(b.Total()))
+}
+
+// trafficRow formats a traffic breakdown normalized to a reference total.
+func trafficRow(t [4]uint64, ref float64) string {
+	f := func(x uint64) float64 { return float64(x) / ref }
+	return fmt.Sprintf("mem=%.3f abort=%.3f task=%.3f gvt=%.3f total=%.3f",
+		f(t[0]), f(t[1]), f(t[2]), f(t[3]), f(t[0]+t[1]+t[2]+t[3]))
+}
+
+func sumTraffic(t [4]uint64) float64 {
+	return float64(t[0] + t[1] + t[2] + t[3])
+}

@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"swarmhints/internal/bench"
+	"swarmhints/swarm"
+)
+
+func tinyRunner() *Runner {
+	o := DefaultOptions(bench.Tiny)
+	o.Cores = []int{1, 4, 16}
+	return NewRunner(o)
+}
+
+func TestFindRegistry(t *testing.T) {
+	for _, id := range []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "lbproxy", "summary"} {
+		if _, err := Find(id); err != nil {
+			t.Fatalf("experiment %q missing: %v", id, err)
+		}
+	}
+	if _, err := Find("fig9"); err == nil {
+		t.Fatal("fig9 does not exist in the paper's evaluation; Find must error")
+	}
+}
+
+func TestRunnerCaches(t *testing.T) {
+	r := tinyRunner()
+	a, err := r.Run("sssp", swarm.Hints, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run("sssp", swarm.Hints, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical configurations must be served from cache")
+	}
+}
+
+func TestSpeedupBaseline(t *testing.T) {
+	r := tinyRunner()
+	s, err := r.Speedup("sssp", swarm.Random, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1.0 {
+		t.Fatalf("1-core speedup = %f, want exactly 1", s)
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(tinyRunner(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range bench.Names() {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table1 output missing %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "Logic gate ID") {
+		t.Fatal("Table1 must report hint patterns")
+	}
+}
+
+func TestFig2Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig2(tinyRunner(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "LBHints") || !strings.Contains(buf.String(), "commit=") {
+		t.Fatalf("Fig2 output malformed:\n%s", buf.String())
+	}
+}
+
+func TestFig3Fractions(t *testing.T) {
+	var buf bytes.Buffer
+	r := tinyRunner()
+	if err := Fig3(r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// All nine benchmarks profiled, each row's fractions summing to ~1.
+	st, err := r.Run("des", swarm.Hints, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := st.Classification
+	sum := cl.MultiHintRO + cl.SingleHintRO + cl.MultiHintRW + cl.SingleHintRW + cl.Arguments
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("des classification sums to %f", sum)
+	}
+	// des operates on single gates: read-write data must be predominantly
+	// single-hint (Fig. 3's key property for des).
+	if cl.SingleHintRW < cl.MultiHintRW {
+		t.Fatalf("des RW data mostly multi-hint (%f vs %f); hint = gate ID should localize it",
+			cl.MultiHintRW, cl.SingleHintRW)
+	}
+}
+
+func TestFig6FGTallerBars(t *testing.T) {
+	// FG versions perform more accesses, so their normalized bar height
+	// must exceed ~1 (Fig. 6: +8% for sssp up to 4.6x for color).
+	r := tinyRunner()
+	cg, err := r.Run("color", swarm.Hints, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := r.Run("color-fg", swarm.Hints, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fg.Classification.TotalAccesses <= cg.Classification.TotalAccesses {
+		t.Fatal("color FG must perform more accesses than CG")
+	}
+}
+
+func TestLBProxyRuns(t *testing.T) {
+	var buf bytes.Buffer
+	r := tinyRunner()
+	r.opt.MaxCores = 16
+	if err := LBProxy(r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "LBIdleTasks") {
+		t.Fatalf("LBProxy output malformed:\n%s", buf.String())
+	}
+}
+
+func TestSummaryRuns(t *testing.T) {
+	var buf bytes.Buffer
+	r := tinyRunner()
+	r.opt.MaxCores = 16
+	if err := Summary(r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"gmean", "Random", "Hints+FG", "LBHints", "traffic reduction"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidationCatchesRuns(t *testing.T) {
+	// With Validate on (the default), every cached run has been checked
+	// against the serial reference; a bad benchmark name must error.
+	r := tinyRunner()
+	if _, err := r.Run("bogus", swarm.Random, 1, false); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}

@@ -1,0 +1,57 @@
+// Package gvt implements Swarm's global-virtual-time commit protocol
+// (Sec. II-B, adapted from Jefferson's virtual time algorithm): tiles
+// periodically report their earliest unfinished task to an arbiter, which
+// broadcasts the global minimum; every finished task that precedes it can
+// safely commit.
+package gvt
+
+import "swarmhints/internal/task"
+
+// Arbiter tracks the GVT epoch schedule and the last computed GVT.
+type Arbiter struct {
+	interval uint64
+	next     uint64
+	gvt      task.Order
+	rounds   uint64
+}
+
+// NewArbiter returns an arbiter that runs every interval cycles
+// (Table II: tiles send updates every 200 cycles).
+func NewArbiter(interval uint64) *Arbiter {
+	if interval == 0 {
+		interval = 200
+	}
+	return &Arbiter{interval: interval, next: interval}
+}
+
+// Due reports whether an update round should run at cycle now.
+func (a *Arbiter) Due(now uint64) bool { return now >= a.next }
+
+// NextDue returns the cycle of the next scheduled round.
+func (a *Arbiter) NextDue() uint64 { return a.next }
+
+// Update runs one round: it takes each tile's earliest uncommitted order and
+// computes the new GVT. All finished tasks strictly before the returned
+// order may commit. The arbiter never moves backwards.
+func (a *Arbiter) Update(now uint64, tileMins []task.Order) task.Order {
+	a.next = now + a.interval
+	a.rounds++
+	min := task.MaxOrder
+	for _, o := range tileMins {
+		if o.Before(min) {
+			min = o
+		}
+	}
+	if a.gvt.Before(min) {
+		a.gvt = min
+	}
+	return a.gvt
+}
+
+// GVT returns the last computed global virtual time.
+func (a *Arbiter) GVT() task.Order { return a.gvt }
+
+// Rounds returns how many update rounds have run (each round costs one
+// 8-byte message per tile to the arbiter and a broadcast back, which the
+// engine accounts as MsgGVT traffic).
+func (a *Arbiter) Rounds() uint64 { return a.rounds }

@@ -1,0 +1,63 @@
+package gvt
+
+import (
+	"testing"
+
+	"swarmhints/internal/task"
+)
+
+func TestDueSchedule(t *testing.T) {
+	a := NewArbiter(200)
+	if a.Due(199) {
+		t.Fatal("due before interval")
+	}
+	if !a.Due(200) {
+		t.Fatal("not due at interval")
+	}
+	a.Update(200, nil)
+	if a.NextDue() != 400 {
+		t.Fatalf("next due = %d, want 400", a.NextDue())
+	}
+}
+
+func TestUpdateComputesMin(t *testing.T) {
+	a := NewArbiter(200)
+	mins := []task.Order{{TS: 30, ID: 2}, {TS: 10, ID: 5}, {TS: 10, ID: 3}}
+	got := a.Update(200, mins)
+	if got != (task.Order{TS: 10, ID: 3}) {
+		t.Fatalf("GVT = %+v, want ts=10 id=3", got)
+	}
+}
+
+func TestGVTMonotonic(t *testing.T) {
+	a := NewArbiter(200)
+	a.Update(200, []task.Order{{TS: 50, ID: 1}})
+	got := a.Update(400, []task.Order{{TS: 20, ID: 1}})
+	if got != (task.Order{TS: 50, ID: 1}) {
+		t.Fatalf("GVT went backwards: %+v", got)
+	}
+}
+
+func TestEmptySystemCommitsEverything(t *testing.T) {
+	a := NewArbiter(200)
+	got := a.Update(200, []task.Order{task.MaxOrder, task.MaxOrder})
+	if got != task.MaxOrder {
+		t.Fatal("all-idle system must report MaxOrder so everything commits")
+	}
+}
+
+func TestDefaultInterval(t *testing.T) {
+	a := NewArbiter(0)
+	if !a.Due(200) || a.Due(199) {
+		t.Fatal("zero interval must default to 200 cycles (Table II)")
+	}
+}
+
+func TestRoundsCounted(t *testing.T) {
+	a := NewArbiter(100)
+	a.Update(100, nil)
+	a.Update(200, nil)
+	if a.Rounds() != 2 {
+		t.Fatalf("rounds = %d, want 2", a.Rounds())
+	}
+}

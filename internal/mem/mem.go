@@ -1,0 +1,193 @@
+// Package mem implements the simulated word-addressable memory that Swarm
+// programs operate on, together with the bump allocator used by workloads and
+// the per-task undo logs that implement Swarm's eager version management.
+//
+// Addresses are byte addresses; every access touches one 8-byte word and must
+// be 8-byte aligned. Memory is sparse and paged so large address spaces cost
+// only what is touched.
+package mem
+
+import "fmt"
+
+// WordSize is the size of every simulated access, in bytes.
+const WordSize = 8
+
+// LineSize is the coherence/cache line size, in bytes (Table II).
+const LineSize = 64
+
+// pageWords is the number of words per internal page (32 KB pages).
+const pageWords = 4096
+
+// LineAddr returns the line-aligned address containing addr. Benchmarks use
+// it to compute cache-line hints (Table I, "Cache line of vertex").
+func LineAddr(addr uint64) uint64 { return addr &^ uint64(LineSize-1) }
+
+// Memory is a sparse 64-bit word-addressable memory with a global write
+// sequence counter used to order undo-log entries across tasks so that
+// cascaded rollbacks restore values correctly regardless of write
+// interleaving.
+type Memory struct {
+	pages   map[uint64]*[pageWords]uint64
+	nextSeq uint64
+	brk     uint64 // bump-allocation watermark
+}
+
+// New returns an empty memory whose allocator starts at a non-zero base so
+// that address 0 is never a valid object address.
+func New() *Memory {
+	return &Memory{
+		pages: make(map[uint64]*[pageWords]uint64),
+		brk:   1 << 20,
+	}
+}
+
+func (m *Memory) page(addr uint64, create bool) (*[pageWords]uint64, uint64) {
+	if addr%WordSize != 0 {
+		panic(fmt.Sprintf("mem: unaligned access to %#x", addr))
+	}
+	w := addr / WordSize
+	pn := w / pageWords
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageWords]uint64)
+		m.pages[pn] = p
+	}
+	return p, w % pageWords
+}
+
+// Load returns the current (possibly speculative) value of the word at addr.
+func (m *Memory) Load(addr uint64) uint64 {
+	p, off := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[off]
+}
+
+// Store writes val to addr and returns the previous value together with the
+// global sequence number of this write. Callers append (addr, old, seq) to
+// the writing task's undo log.
+func (m *Memory) Store(addr, val uint64) (old uint64, seq uint64) {
+	p, off := m.page(addr, true)
+	old = p[off]
+	p[off] = val
+	m.nextSeq++
+	return old, m.nextSeq
+}
+
+// StoreRaw writes without sequencing; used only for rollback and for
+// non-speculative initialization (program setup before swarm::run).
+func (m *Memory) StoreRaw(addr, val uint64) {
+	p, off := m.page(addr, true)
+	p[off] = val
+}
+
+// Seq returns the current global write sequence number.
+func (m *Memory) Seq() uint64 { return m.nextSeq }
+
+// Alloc reserves n bytes and returns the base address, 64-byte aligned so
+// objects never straddle allocation boundaries unintentionally.
+func (m *Memory) Alloc(n uint64) uint64 {
+	base := (m.brk + LineSize - 1) &^ uint64(LineSize-1)
+	m.brk = base + n
+	return base
+}
+
+// AllocWords reserves n 8-byte words.
+func (m *Memory) AllocWords(n uint64) uint64 { return m.Alloc(n * WordSize) }
+
+// Footprint returns the number of bytes of memory touched so far.
+func (m *Memory) Footprint() uint64 {
+	return uint64(len(m.pages)) * pageWords * WordSize
+}
+
+// UndoEntry records one speculative write: the address, the value it
+// clobbered, and the global order of the write.
+type UndoEntry struct {
+	Addr uint64
+	Old  uint64
+	Seq  uint64
+}
+
+// UndoLog is a task's eager-versioning log. Entries are naturally in
+// ascending Seq order because a task appends as it writes.
+type UndoLog struct {
+	entries []UndoEntry
+}
+
+// Append records a write.
+func (l *UndoLog) Append(e UndoEntry) { l.entries = append(l.entries, e) }
+
+// Len returns the number of logged writes.
+func (l *UndoLog) Len() int { return len(l.entries) }
+
+// Entries exposes the log for merged rollbacks.
+func (l *UndoLog) Entries() []UndoEntry { return l.entries }
+
+// Reset clears the log for task re-execution.
+func (l *UndoLog) Reset() { l.entries = l.entries[:0] }
+
+// Rollback restores the undo entries of a set of aborting tasks. Entries
+// must be restored in descending global sequence order so that overlapping
+// writes by different tasks unwind to the exact pre-speculation values; this
+// function merges and sorts the logs and applies them.
+func Rollback(m *Memory, logs []*UndoLog) {
+	var all []UndoEntry
+	for _, l := range logs {
+		all = append(all, l.entries...)
+	}
+	// Sort descending by Seq. Logs are individually sorted ascending, so a
+	// merge would be O(n log k), but abort sets are small; use simple sort.
+	sortUndoDesc(all)
+	for _, e := range all {
+		m.StoreRaw(e.Addr, e.Old)
+	}
+	for _, l := range logs {
+		l.Reset()
+	}
+}
+
+func sortUndoDesc(a []UndoEntry) {
+	// Insertion sort is fine for typical abort-set sizes; fall back to
+	// heapify-style for large sets.
+	if len(a) > 64 {
+		quickSortUndo(a, 0, len(a)-1)
+		return
+	}
+	for i := 1; i < len(a); i++ {
+		e := a[i]
+		j := i - 1
+		for j >= 0 && a[j].Seq < e.Seq {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = e
+	}
+}
+
+func quickSortUndo(a []UndoEntry, lo, hi int) {
+	for lo < hi {
+		p := a[(lo+hi)/2].Seq
+		i, j := lo, hi
+		for i <= j {
+			for a[i].Seq > p {
+				i++
+			}
+			for a[j].Seq < p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if j-lo < hi-i {
+			quickSortUndo(a, lo, j)
+			lo = i
+		} else {
+			quickSortUndo(a, i, hi)
+			hi = j
+		}
+	}
+}

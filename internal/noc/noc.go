@@ -1,0 +1,160 @@
+// Package noc models the on-chip network of the simulated Swarm system: a
+// K×K mesh with X-Y dimension-order routing, 128-bit links, 1 cycle per hop
+// going straight and 2 cycles on turns (Table II, like Tile64), plus flit
+// accounting broken down by message class so the harness can reproduce the
+// paper's "NoC data transferred" figures (Fig. 5b, Fig. 8b).
+package noc
+
+// FlitBytes is the payload of one flit on the 128-bit links.
+const FlitBytes = 16
+
+// MsgClass labels traffic for the breakdowns in Fig. 5b / 8b.
+type MsgClass int
+
+const (
+	// MsgMem is memory-access traffic (L2<->LLC and LLC<->main memory).
+	MsgMem MsgClass = iota
+	// MsgAbort is abort traffic: child-abort messages and rollback accesses.
+	MsgAbort
+	// MsgTask is task descriptors enqueued to remote tiles.
+	MsgTask
+	// MsgGVT is the periodic global-virtual-time update traffic.
+	MsgGVT
+	numClasses
+)
+
+// String names a message class as the paper's legends do.
+func (c MsgClass) String() string {
+	switch c {
+	case MsgMem:
+		return "Mem accs"
+	case MsgAbort:
+		return "Aborts"
+	case MsgTask:
+		return "Tasks"
+	case MsgGVT:
+		return "GVT"
+	}
+	return "?"
+}
+
+// Mesh is a K×K mesh interconnect among tiles. Tile i sits at
+// (i%K, i/K). Memory controllers sit at the four chip edges.
+type Mesh struct {
+	k     int
+	flits [numClasses]uint64
+}
+
+// New returns a mesh with k columns and rows (k*k tiles).
+func New(k int) *Mesh {
+	if k < 1 {
+		k = 1
+	}
+	return &Mesh{k: k}
+}
+
+// K returns the mesh dimension.
+func (m *Mesh) K() int { return m.k }
+
+// Tiles returns the number of tiles on the mesh.
+func (m *Mesh) Tiles() int { return m.k * m.k }
+
+func (m *Mesh) coords(tile int) (x, y int) { return tile % m.k, tile / m.k }
+
+// Latency returns the cycles for a message from tile src to tile dst under
+// X-Y routing: 1 cycle per hop going straight, one extra cycle when the
+// route turns from the X dimension into the Y dimension.
+func (m *Mesh) Latency(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	sx, sy := m.coords(src)
+	dx, dy := m.coords(dst)
+	hx := abs(dx - sx)
+	hy := abs(dy - sy)
+	lat := hx + hy
+	if hx > 0 && hy > 0 {
+		lat++ // the single X->Y turn costs 2 cycles instead of 1
+	}
+	return lat
+}
+
+// Hops returns the Manhattan hop count between two tiles.
+func (m *Mesh) Hops(src, dst int) int {
+	sx, sy := m.coords(src)
+	dx, dy := m.coords(dst)
+	return abs(dx-sx) + abs(dy-sy)
+}
+
+// EdgeLatency is the X-Y latency from a tile to its nearest chip edge, where
+// the four memory controllers sit (Table II).
+func (m *Mesh) EdgeLatency(tile int) int {
+	x, y := m.coords(tile)
+	d := min4(x, y, m.k-1-x, m.k-1-y)
+	return d + 1 // +1 to cross onto the controller port
+}
+
+// Send accounts for a message of size bytes in class c and returns its
+// latency. Zero-hop (same tile) messages still inject flits locally only if
+// they cross the network; we follow the paper and count only remote traffic.
+func (m *Mesh) Send(c MsgClass, src, dst, bytes int) int {
+	if src == dst {
+		return 0
+	}
+	m.flits[c] += uint64(flitsFor(bytes))
+	return m.Latency(src, dst)
+}
+
+// SendToEdge accounts for a tile<->memory-controller message.
+func (m *Mesh) SendToEdge(c MsgClass, tile, bytes int) int {
+	m.flits[c] += uint64(flitsFor(bytes))
+	return m.EdgeLatency(tile)
+}
+
+// Flits returns flits injected for one class.
+func (m *Mesh) Flits(c MsgClass) uint64 { return m.flits[c] }
+
+// TotalFlits returns all flits injected.
+func (m *Mesh) TotalFlits() uint64 {
+	var t uint64
+	for _, f := range m.flits {
+		t += f
+	}
+	return t
+}
+
+// Breakdown returns flits per class in declaration order
+// (mem, abort, task, gvt).
+func (m *Mesh) Breakdown() [4]uint64 {
+	return [4]uint64{m.flits[MsgMem], m.flits[MsgAbort], m.flits[MsgTask], m.flits[MsgGVT]}
+}
+
+// ResetStats clears flit counters (used between measurement regions).
+func (m *Mesh) ResetStats() { m.flits = [numClasses]uint64{} }
+
+func flitsFor(bytes int) int {
+	if bytes <= 0 {
+		return 1 // header-only control flit
+	}
+	return (bytes + FlitBytes - 1) / FlitBytes
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func min4(a, b, c, d int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	if d < a {
+		a = d
+	}
+	return a
+}

@@ -1,0 +1,137 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencySameTile(t *testing.T) {
+	m := New(4)
+	if m.Latency(5, 5) != 0 {
+		t.Fatal("same-tile latency must be 0")
+	}
+}
+
+func TestLatencyStraightLine(t *testing.T) {
+	m := New(4)
+	// Tiles 0..3 are row 0: straight X route, 1 cycle/hop.
+	if got := m.Latency(0, 3); got != 3 {
+		t.Fatalf("straight 3-hop latency = %d, want 3", got)
+	}
+	// Tiles 0 and 12 are column 0: straight Y route.
+	if got := m.Latency(0, 12); got != 3 {
+		t.Fatalf("straight column latency = %d, want 3", got)
+	}
+}
+
+func TestLatencyTurnPenalty(t *testing.T) {
+	m := New(4)
+	// 0 -> 5: one X hop + one Y hop + 1 turn penalty = 3.
+	if got := m.Latency(0, 5); got != 3 {
+		t.Fatalf("turning route latency = %d, want 3", got)
+	}
+}
+
+func TestLatencySymmetric(t *testing.T) {
+	m := New(8)
+	f := func(a, b uint8) bool {
+		s, d := int(a)%64, int(b)%64
+		return m.Latency(s, d) == m.Latency(d, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyBounds(t *testing.T) {
+	// Max latency on a KxK mesh is 2(K-1)+1 (full diagonal with one turn).
+	for _, k := range []int{1, 2, 4, 8} {
+		m := New(k)
+		maxWant := 2*(k-1) + 1
+		for s := 0; s < m.Tiles(); s++ {
+			for d := 0; d < m.Tiles(); d++ {
+				if got := m.Latency(s, d); got > maxWant {
+					t.Fatalf("k=%d latency(%d,%d)=%d exceeds %d", k, s, d, got, maxWant)
+				}
+			}
+		}
+	}
+}
+
+func TestHopsTriangleInequality(t *testing.T) {
+	m := New(8)
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%64, int(b)%64, int(c)%64
+		return m.Hops(x, z) <= m.Hops(x, y)+m.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeLatency(t *testing.T) {
+	m := New(4)
+	if got := m.EdgeLatency(0); got != 1 {
+		t.Fatalf("corner tile edge latency = %d, want 1", got)
+	}
+	// Tile 5 = (1,1): distance 1 from edge, +1 port crossing.
+	if got := m.EdgeLatency(5); got != 2 {
+		t.Fatalf("inner tile edge latency = %d, want 2", got)
+	}
+}
+
+func TestSendAccountsFlits(t *testing.T) {
+	m := New(4)
+	m.Send(MsgMem, 0, 1, 64) // 64B = 4 flits
+	m.Send(MsgTask, 0, 2, 40)
+	m.Send(MsgTask, 1, 1, 40) // local: no flits
+	if got := m.Flits(MsgMem); got != 4 {
+		t.Fatalf("mem flits = %d, want 4", got)
+	}
+	if got := m.Flits(MsgTask); got != 3 {
+		t.Fatalf("task flits = %d, want 3 (40B rounds up)", got)
+	}
+	if got := m.TotalFlits(); got != 7 {
+		t.Fatalf("total flits = %d, want 7", got)
+	}
+}
+
+func TestSendControlFlit(t *testing.T) {
+	m := New(2)
+	m.Send(MsgGVT, 0, 1, 0)
+	if m.Flits(MsgGVT) != 1 {
+		t.Fatal("zero-byte message must cost one control flit")
+	}
+}
+
+func TestBreakdownOrder(t *testing.T) {
+	m := New(2)
+	m.Send(MsgMem, 0, 1, 16)
+	m.Send(MsgAbort, 0, 1, 16)
+	m.Send(MsgTask, 0, 1, 16)
+	m.Send(MsgGVT, 0, 1, 16)
+	b := m.Breakdown()
+	for i, v := range b {
+		if v != 1 {
+			t.Fatalf("breakdown[%d] = %d, want 1", i, v)
+		}
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	m := New(2)
+	m.Send(MsgMem, 0, 1, 64)
+	m.ResetStats()
+	if m.TotalFlits() != 0 {
+		t.Fatal("ResetStats did not clear counters")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	names := map[MsgClass]string{MsgMem: "Mem accs", MsgAbort: "Aborts", MsgTask: "Tasks", MsgGVT: "GVT"}
+	for c, want := range names {
+		if c.String() != want {
+			t.Fatalf("class %d string = %q, want %q", c, c.String(), want)
+		}
+	}
+}

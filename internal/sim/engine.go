@@ -1,0 +1,656 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"swarmhints/internal/cache"
+	"swarmhints/internal/conflict"
+	"swarmhints/internal/gvt"
+	"swarmhints/internal/mem"
+	"swarmhints/internal/noc"
+	"swarmhints/internal/sched"
+	"swarmhints/internal/task"
+)
+
+// ErrWatchdog is returned when a run exceeds its cycle budget, which
+// indicates livelock or a configuration far too small for the workload.
+var ErrWatchdog = errors.New("sim: watchdog cycle limit exceeded")
+
+const (
+	evCoreDone = iota
+	evGVT
+	evLB
+	evWake // no-op: forces a dispatch attempt when a rollback window ends
+)
+
+type event struct {
+	time uint64
+	seq  uint64
+	kind int
+	core int
+	gen  uint64 // core generation for stale-completion detection
+}
+
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	e := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h.less(l, s) {
+			s = l
+		}
+		if r < n && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		(*h)[i], (*h)[s] = (*h)[s], (*h)[i]
+		i = s
+	}
+	return e
+}
+
+type coreState struct {
+	tile      int
+	running   *task.Task
+	busyUntil uint64
+	gen       uint64
+	idleSince uint64
+	reason    idleReason
+}
+
+// Engine simulates one run of a Program under a Config.
+type Engine struct {
+	cfg   Config
+	prog  *Program
+	mesh  *noc.Mesh
+	hier  *cache.Hierarchy
+	index *conflict.Index
+	arb   *gvt.Arbiter
+	schd  *sched.Scheduler
+
+	queues   []*task.Queue
+	finished [][]*task.Task // per tile
+	cores    []coreState
+
+	events eventHeap
+	evSeq  uint64
+	now    uint64
+
+	nextID uint64
+	live   int64 // tasks neither committed nor squashed
+
+	stats Stats
+	prof  *profiler
+}
+
+// Run executes the program's roots to completion under cfg and returns the
+// run statistics.
+func Run(p *Program, roots []Root, cfg Config) (*Stats, error) {
+	e := newEngine(p, cfg)
+	for _, r := range roots {
+		e.enqueue(nil, 0, r.Fn, r.TS, r.HintKind, r.Hint, r.Args...)
+	}
+	return e.run()
+}
+
+func newEngine(p *Program, cfg Config) *Engine {
+	tiles := cfg.Tiles()
+	e := &Engine{
+		cfg:   cfg,
+		prog:  p,
+		mesh:  noc.New(cfg.MeshK),
+		index: conflict.NewIndex(),
+		arb:   gvt.NewArbiter(cfg.GVTInterval),
+		schd:  sched.New(cfg.Scheduler, tiles, cfg.LBInterval, cfg.Seed),
+	}
+	e.hier = cache.New(cfg.Cache, e.mesh, cfg.CoresPerTile)
+	e.queues = make([]*task.Queue, tiles)
+	e.finished = make([][]*task.Task, tiles)
+	for t := range e.queues {
+		e.queues[t] = task.NewQueue(t,
+			cfg.TaskQPerCore*cfg.CoresPerTile,
+			cfg.CommitQPerCore*cfg.CoresPerTile)
+	}
+	e.cores = make([]coreState, tiles*cfg.CoresPerTile)
+	for c := range e.cores {
+		e.cores[c].tile = c / cfg.CoresPerTile
+	}
+	if cfg.Profile {
+		e.prof = newProfiler()
+	}
+	return e
+}
+
+func (e *Engine) run() (*Stats, error) {
+	maxCycles := e.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 50_000_000_000
+	}
+	e.schedule(evGVT, e.arb.NextDue(), 0, 0)
+	if e.schd.Kind() == sched.LBHints || e.schd.Kind() == sched.LBIdleProxy {
+		e.schedule(evLB, e.cfg.LBInterval, 0, 0)
+	}
+
+	for e.live > 0 {
+		e.dispatchAll()
+		if e.live == 0 {
+			break
+		}
+		if len(e.events) == 0 {
+			return nil, fmt.Errorf("sim: no events pending with %d live tasks (deadlock)", e.live)
+		}
+		ev := e.events.pop()
+		if ev.time > maxCycles {
+			return nil, fmt.Errorf("%w at cycle %d (%d live tasks)\n%s", ErrWatchdog, ev.time, e.live, e.dumpState())
+		}
+		e.now = ev.time
+		e.handle(ev)
+		// Drain every event scheduled for this same cycle before
+		// re-attempting dispatch, so the cycle's state is settled.
+		for len(e.events) > 0 && e.events[0].time == e.now {
+			e.handle(e.events.pop())
+		}
+	}
+
+	// Final commit wave timing: the makespan ends when the last task
+	// committed, which the GVT handler recorded in e.now.
+	for c := range e.cores {
+		e.flushIdle(c)
+	}
+	e.finalizeStats()
+	return &e.stats, nil
+}
+
+// dumpState renders per-tile queue occupancy and the earliest stuck tasks,
+// for watchdog diagnostics.
+func (e *Engine) dumpState() string {
+	s := fmt.Sprintf("gvt=%+v\n", e.arb.GVT())
+	for tile, q := range e.queues {
+		if q.Resident() == 0 && q.SpilledCount() == 0 {
+			continue
+		}
+		s += fmt.Sprintf("tile %d: resident=%d idle=%d commitUsed=%d/%d spilled=%d",
+			tile, q.Resident(), q.IdleCount(), q.CommitUsed(),
+			e.cfg.CommitQPerCore*e.cfg.CoresPerTile, q.SpilledCount())
+		if t := q.PeekEarliest(); t != nil {
+			s += fmt.Sprintf(" earliestIdle={id=%d ts=%d fn=%d aborts=%d}", t.ID, t.TS, t.Fn, t.Aborts)
+		}
+		base := tile * e.cfg.CoresPerTile
+		for c := 0; c < e.cfg.CoresPerTile; c++ {
+			if t := e.cores[base+c].running; t != nil {
+				s += fmt.Sprintf(" running[%d]={id=%d ts=%d}", c, t.ID, t.TS)
+			}
+		}
+		s += fmt.Sprintf(" finished=%d\n", len(e.finished[tile]))
+	}
+	return s
+}
+
+func (e *Engine) finalizeStats() {
+	e.stats.Cycles = e.now
+	e.stats.Cores = len(e.cores)
+	e.stats.Traffic = e.mesh.Breakdown()
+	e.stats.Cache = e.hier.Stats()
+	e.stats.Comparisons = e.index.Comparisons
+	e.stats.Reconfigs = e.schd.Reconfigs()
+	e.stats.GVTRounds = e.arb.Rounds()
+	if e.prof != nil {
+		e.stats.Classification = e.prof.classify()
+	}
+}
+
+func (e *Engine) schedule(kind int, t uint64, core int, gen uint64) {
+	e.evSeq++
+	e.events.push(event{time: t, seq: e.evSeq, kind: kind, core: core, gen: gen})
+}
+
+func (e *Engine) handle(ev event) {
+	switch ev.kind {
+	case evCoreDone:
+		c := &e.cores[ev.core]
+		if c.gen != ev.gen || c.running == nil {
+			return // stale: the task aborted before completing
+		}
+		t := c.running
+		c.running = nil
+		c.idleSince = e.now
+		e.queues[t.Tile].Finish(t)
+		e.finished[t.Tile] = append(e.finished[t.Tile], t)
+	case evGVT:
+		e.gvtRound()
+		e.schedule(evGVT, e.arb.NextDue(), 0, 0)
+	case evWake:
+		// Nothing to do: the main loop re-attempts dispatch after every
+		// event batch, which is the point of this event.
+	case evLB:
+		if e.schd.ReconfigDue(e.now) {
+			idle := make([]int, len(e.queues))
+			for i, q := range e.queues {
+				idle[i] = q.IdleCount()
+			}
+			e.schd.Reconfigure(e.now, idle)
+		}
+		e.schedule(evLB, e.now+e.cfg.LBInterval, 0, 0)
+	}
+}
+
+// gvtRound performs one virtual-time update: tiles report their earliest
+// unfinished task, the arbiter computes the minimum, and every finished
+// task that precedes it commits.
+func (e *Engine) gvtRound() {
+	tiles := len(e.queues)
+	mins := make([]task.Order, tiles)
+	runningOf := make([][]*task.Task, tiles)
+	for c := range e.cores {
+		if t := e.cores[c].running; t != nil {
+			runningOf[e.cores[c].tile] = append(runningOf[e.cores[c].tile], t)
+		}
+	}
+	for i, q := range e.queues {
+		mins[i] = q.EarliestUncommitted(runningOf[i], nil)
+	}
+	g := e.arb.Update(e.now, mins)
+
+	// GVT traffic: each tile exchanges an 8-byte update with the arbiter.
+	for t := 1; t < tiles; t++ {
+		e.mesh.Send(noc.MsgGVT, t, 0, 8)
+		e.mesh.Send(noc.MsgGVT, 0, t, 8)
+	}
+
+	for tile := range e.finished {
+		list := e.finished[tile]
+		out := list[:0]
+		for _, t := range list {
+			if t.Ord().Before(g) {
+				e.commit(t)
+			} else {
+				out = append(out, t)
+			}
+		}
+		e.finished[tile] = out
+	}
+
+	// Commits freed queue space: pull spilled tasks back in.
+	for tile, q := range e.queues {
+		if q.SpilledCount() > 0 && !q.NearlyFull(e.cfg.SpillThresholdPct) {
+			e.refill(tile)
+		}
+	}
+}
+
+func (e *Engine) commit(t *task.Task) {
+	e.index.Remove(t)
+	e.queues[t.Tile].Commit(t)
+	e.live--
+	e.stats.CommittedTasks++
+	e.stats.Breakdown.Commit += t.RunCycles
+	e.schd.OnCommit(t, t.RunCycles)
+	if e.prof != nil {
+		e.prof.onCommit(t.Reads, t.Writes, t.Hint, t.HasHint(), t.ID, len(t.Args))
+	}
+	t.Children = nil // descendants can no longer abort through us
+}
+
+// enqueue creates a task, maps it to a tile, and inserts it, spilling to
+// make room when the destination queue is exhausted.
+func (e *Engine) enqueue(parent *task.Task, fromTile int, fn task.FnID, ts uint64, kind task.HintKind, hint uint64, args ...uint64) *task.Task {
+	if parent != nil && ts < parent.TS {
+		ts = parent.TS // children may not precede their parent (Sec. II-A)
+	}
+	e.nextID++
+	t := task.NewTask(e.nextID, fn, ts, kind, hint, parent, args...)
+	if parent != nil {
+		parent.Children = append(parent.Children, t)
+	}
+	dest := e.schd.DestTile(t, fromTile)
+	if dest != fromTile {
+		e.mesh.Send(noc.MsgTask, fromTile, dest, task.DescriptorBytes(t))
+	}
+	q := e.queues[dest]
+	if q.NearlyFull(e.cfg.SpillThresholdPct) {
+		e.spill(dest)
+	}
+	if !q.Enqueue(t) {
+		e.spill(dest)
+		if !q.Enqueue(t) {
+			// Task queue exhausted and nothing spillable: overflow the new
+			// descriptor itself to memory.
+			q.SpillDirect(t)
+			e.stats.SpilledTasks++
+			e.mesh.SendToEdge(noc.MsgMem, dest, task.DescriptorBytes(t))
+		}
+	}
+	e.live++
+	e.stats.EnqueuedTasks++
+	return t
+}
+
+// spill fires the tile's coalescer (Sec. II-B / Table II).
+func (e *Engine) spill(tile int) {
+	sp := e.queues[tile].Spill(e.cfg.SpillBatch)
+	for _, t := range sp {
+		e.stats.SpilledTasks++
+		e.stats.Breakdown.Spill += e.cfg.SpillCyclesPer
+		e.mesh.SendToEdge(noc.MsgMem, tile, task.DescriptorBytes(t))
+	}
+}
+
+func (e *Engine) refill(tile int) {
+	back := e.queues[tile].Refill(e.cfg.SpillBatch)
+	for _, t := range back {
+		e.stats.Breakdown.Spill += e.cfg.SpillCyclesPer
+		e.mesh.SendToEdge(noc.MsgMem, tile, task.DescriptorBytes(t))
+	}
+}
+
+// dispatchAll tries to dispatch on every free core until a fixpoint: a
+// dispatch can free other cores (via aborts) or create work (via enqueues).
+func (e *Engine) dispatchAll() {
+	for progress := true; progress; {
+		progress = false
+		for c := range e.cores {
+			cs := &e.cores[c]
+			if cs.running != nil || cs.busyUntil > e.now {
+				continue
+			}
+			if e.tryDispatch(c) {
+				progress = true
+			}
+		}
+	}
+}
+
+func (e *Engine) tryDispatch(coreID int) bool {
+	cs := &e.cores[coreID]
+	tile := cs.tile
+	q := e.queues[tile]
+
+	if q.IdleCount() == 0 && q.SpilledCount() > 0 && !q.Full() {
+		e.refill(tile)
+	}
+	if e.schd.WantSteal() && q.IdleCount() == 0 {
+		e.steal(tile)
+	}
+	if q.IdleCount() == 0 {
+		e.markIdle(coreID, idleEmpty)
+		return false
+	}
+
+	pick := e.pickCandidate(tile)
+	if pick == nil {
+		e.markIdle(coreID, idleSerial)
+		return false
+	}
+
+	if !q.CommitSlotFree() {
+		// Commit queue exhausted: normally stall, but if the stall has
+		// persisted a full GVT interval (so commits alone will not unblock
+		// us — the candidate itself may be holding GVT back), abort the
+		// latest speculative task on this tile to make room ("aborting
+		// higher-timestamp tasks to free space", Sec. II-B).
+		blockedLong := cs.reason == idleCommitQ && e.now-cs.idleSince >= 2*e.cfg.GVTInterval
+		victim := e.latestSpeculative(tile)
+		if blockedLong && victim != nil && victim.State == task.Finished &&
+			pick.Ord().Before(victim.Ord()) {
+			e.abort(victim)
+			if pick.State != task.Idle { // candidate got dragged into the abort
+				e.markIdle(coreID, idleCommitQ)
+				return false
+			}
+		} else {
+			e.markIdle(coreID, idleCommitQ)
+			return false
+		}
+		if !q.CommitSlotFree() {
+			e.markIdle(coreID, idleCommitQ)
+			return false
+		}
+	}
+
+	e.flushIdle(coreID)
+	q.Dispatch(pick, coreID)
+	e.execute(pick, coreID)
+	return true
+}
+
+// pickCandidate selects the earliest idle task, skipping tasks whose hashed
+// hint matches an earlier-order running task on the tile (Sec. III-B).
+func (e *Engine) pickCandidate(tile int) *task.Task {
+	q := e.queues[tile]
+	if !e.schd.SerializeSameHint() || e.cfg.DisableSerialization {
+		return q.PeekEarliest()
+	}
+	type runInfo struct {
+		hash uint16
+		ord  task.Order
+	}
+	var running []runInfo
+	base := tile * e.cfg.CoresPerTile
+	for c := 0; c < e.cfg.CoresPerTile; c++ {
+		if t := e.cores[base+c].running; t != nil && t.HasHint() {
+			running = append(running, runInfo{t.HintHash, t.Ord()})
+		}
+	}
+	var pick *task.Task
+	q.IdleInOrder(func(t *task.Task) bool {
+		if t.HasHint() {
+			for _, r := range running {
+				if r.hash == t.HintHash && r.ord.Before(t.Ord()) {
+					return true // serialized: skip, try next-earliest
+				}
+			}
+		}
+		pick = t
+		return false
+	})
+	return pick
+}
+
+// latestSpeculative returns the latest-order running-or-finished task on a
+// tile (the natural victim when commit resources run out).
+func (e *Engine) latestSpeculative(tile int) *task.Task {
+	var latest *task.Task
+	base := tile * e.cfg.CoresPerTile
+	for c := 0; c < e.cfg.CoresPerTile; c++ {
+		if t := e.cores[base+c].running; t != nil {
+			if latest == nil || latest.Ord().Before(t.Ord()) {
+				latest = t
+			}
+		}
+	}
+	for _, t := range e.finished[tile] {
+		if latest == nil || latest.Ord().Before(t.Ord()) {
+			latest = t
+		}
+	}
+	return latest
+}
+
+// steal implements the idealized work-stealing protocol of Sec. II-C: the
+// out-of-work tile instantaneously takes the earliest-timestamp task from
+// the tile with the most idle tasks, with no cycle or traffic cost.
+func (e *Engine) steal(tile int) {
+	victim, best := -1, 0
+	for i, q := range e.queues {
+		if i != tile && q.IdleCount() > best {
+			victim, best = i, q.IdleCount()
+		}
+	}
+	if victim < 0 || e.queues[tile].Full() {
+		return
+	}
+	t := e.queues[victim].PeekEarliest()
+	e.queues[victim].RemoveIdle(t)
+	if !e.queues[tile].Enqueue(t) {
+		e.queues[victim].Enqueue(t) // put it back; should not happen
+		return
+	}
+	e.stats.StolenTasks++
+}
+
+func (e *Engine) execute(t *task.Task, coreID int) {
+	cs := &e.cores[coreID]
+	t.ResetAttempt()
+	t.DispatchCycle = e.now
+	cs.running = t
+	cs.gen++
+	ctx := Ctx{e: e, t: t, core: coreID, tile: cs.tile,
+		cycles: e.cfg.TaskOpCycles + e.cfg.BaseTaskCycles}
+	e.prog.fns[t.Fn](&ctx)
+	ctx.cycles += e.cfg.TaskOpCycles // finish-task op
+	t.RunCycles = ctx.cycles
+	cs.busyUntil = e.now + ctx.cycles
+	e.schedule(evCoreDone, cs.busyUntil, coreID, cs.gen)
+}
+
+// abort rolls back seed and every descendant and data-dependent task
+// (Sec. II-B). Descendants of aborting tasks are squashed (their parent will
+// re-create them); data-dependent tasks return to their queues for retry.
+func (e *Engine) abort(seed *task.Task) {
+	switch seed.State {
+	case task.Committed, task.Squashed, task.Idle, task.Spilled:
+		return // already resolved or never ran
+	}
+	set := e.index.AbortSet(seed)
+	inSet := make(map[*task.Task]bool, len(set))
+	for _, t := range set {
+		inSet[t] = true
+	}
+	seedTile := seed.Tile
+	var logs []*mem.UndoLog
+
+	for _, t := range set {
+		squash := t.Parent != nil && inSet[t.Parent]
+		q := e.queues[t.Tile]
+		if t != seed && t.Tile != seedTile {
+			e.mesh.Send(noc.MsgAbort, seedTile, t.Tile, 16)
+		}
+		switch t.State {
+		case task.Running:
+			// The mispeculating core runs until the abort and then spends
+			// the rollback window restoring its undo log (Sec. IV-A:
+			// "simulating conflict check and rollback delays").
+			rb := e.cfg.AbortBaseCycles + 2*uint64(len(t.Writes))
+			soFar := e.now - t.DispatchCycle
+			e.stats.Breakdown.Abort += soFar + rb
+			e.stats.AbortedAttempts++
+			cs := &e.cores[t.Core]
+			cs.running = nil
+			cs.gen++
+			cs.busyUntil = e.now + rb
+			cs.idleSince = e.now + rb
+			e.schedule(evWake, e.now+rb, t.Core, 0)
+			e.rollbackTraffic(t)
+			logs = append(logs, &t.Undo)
+			e.index.Remove(t)
+			if squash {
+				q.SquashRunning(t)
+				e.live--
+				e.stats.SquashedTasks++
+			} else {
+				q.AbortRunning(t)
+			}
+		case task.Finished:
+			e.stats.Breakdown.Abort += t.RunCycles
+			e.stats.AbortedAttempts++
+			e.removeFinished(t)
+			e.rollbackTraffic(t)
+			logs = append(logs, &t.Undo)
+			e.index.Remove(t)
+			if squash {
+				q.SquashFinished(t)
+				e.live--
+				e.stats.SquashedTasks++
+			} else {
+				q.AbortFinished(t)
+			}
+		case task.Idle:
+			// Never ran: in the set only as a descendant. Squash it.
+			q.Squash(t)
+			e.live--
+			e.stats.SquashedTasks++
+		case task.Spilled:
+			t.State = task.Squashed // spill buffer drops it lazily
+			e.live--
+			e.stats.SquashedTasks++
+		}
+	}
+	mem.Rollback(e.prog.Mem, logs)
+}
+
+// rollbackTraffic charges the abort-class memory traffic of restoring a
+// task's undo log (Sec. IV: "abort traffic [includes] rollback memory
+// accesses").
+func (e *Engine) rollbackTraffic(t *task.Task) {
+	for _, a := range t.Writes {
+		e.hier.Access(t.Core, t.Tile, a, true, noc.MsgAbort)
+	}
+}
+
+func (e *Engine) removeFinished(t *task.Task) {
+	list := e.finished[t.Tile]
+	for i, x := range list {
+		if x == t {
+			list[i] = list[len(list)-1]
+			e.finished[t.Tile] = list[:len(list)-1]
+			return
+		}
+	}
+}
+
+func (e *Engine) markIdle(coreID int, r idleReason) {
+	cs := &e.cores[coreID]
+	if cs.reason == r {
+		return
+	}
+	e.flushIdle(coreID)
+	cs.idleSince = e.now
+	cs.reason = r
+}
+
+func (e *Engine) flushIdle(coreID int) {
+	cs := &e.cores[coreID]
+	if cs.reason == idleNone {
+		cs.idleSince = e.now
+		return
+	}
+	gap := e.now - cs.idleSince
+	switch cs.reason {
+	case idleEmpty:
+		e.stats.Breakdown.Empty += gap
+	case idleCommitQ, idleSerial:
+		e.stats.Breakdown.Stall += gap
+	}
+	cs.idleSince = e.now
+	cs.reason = idleNone
+}

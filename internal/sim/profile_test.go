@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordProfileSingleHintDominant(t *testing.T) {
+	var w wordProfile
+	for i := 0; i < 95; i++ {
+		w.note(7, false)
+	}
+	for i := 0; i < 5; i++ {
+		w.note(uint64(100+i), false)
+	}
+	if !w.singleHint() {
+		t.Fatal("95% single-hint word classified multi-hint")
+	}
+}
+
+func TestWordProfileMultiHint(t *testing.T) {
+	var w wordProfile
+	for h := uint64(0); h < 10; h++ {
+		for i := 0; i < 10; i++ {
+			w.note(h, false)
+		}
+	}
+	if w.singleHint() {
+		t.Fatal("evenly spread hints classified single-hint")
+	}
+}
+
+func TestWordProfileReadOnly(t *testing.T) {
+	var w wordProfile
+	for i := 0; i < 500; i++ {
+		w.note(1, false)
+	}
+	if !w.readOnly() {
+		t.Fatal("read-only word misclassified")
+	}
+	w.note(1, true)
+	w.note(1, true)
+	w.note(1, true)
+	w.note(1, true)
+	w.note(1, true)
+	w.note(1, true)
+	if w.readOnly() {
+		t.Fatalf("%d reads / %d writes should be read-write at threshold %d", w.reads, w.writes, roRatio)
+	}
+}
+
+func TestWordProfileZeroWritesIsRO(t *testing.T) {
+	var w wordProfile
+	w.note(1, false)
+	if !w.readOnly() {
+		t.Fatal("never-written word must be read-only")
+	}
+}
+
+func TestMisraGriesNeverLosesTrueMajority(t *testing.T) {
+	// Property: if one hint makes up >=90% of accesses, singleHint() is
+	// true no matter the interleaving.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var w wordProfile
+		n := 200 + rng.Intn(300)
+		minority := n / 10 // exactly 10%, majority 90%
+		seq := make([]uint64, 0, n)
+		for i := 0; i < n-minority; i++ {
+			seq = append(seq, 42)
+		}
+		for i := 0; i < minority; i++ {
+			seq = append(seq, uint64(1000+rng.Intn(50)))
+		}
+		rng.Shuffle(len(seq), func(a, b int) { seq[a], seq[b] = seq[b], seq[a] })
+		for _, h := range seq {
+			w.note(h, false)
+		}
+		return w.singleHint()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilerArgumentsCounted(t *testing.T) {
+	p := newProfiler()
+	p.onCommit([]uint64{8}, nil, 1, true, 1, 3)
+	cl := p.classify()
+	if cl.Arguments == 0 {
+		t.Fatal("arguments not counted")
+	}
+	if cl.TotalAccesses != 4 { // 1 read + 3 args
+		t.Fatalf("total = %d, want 4", cl.TotalAccesses)
+	}
+}
+
+func TestProfilerNoHintTasksAreMultiHint(t *testing.T) {
+	p := newProfiler()
+	// Two NOHINT tasks share one word: must classify multi-hint.
+	p.onCommit([]uint64{16}, nil, 0, false, 1, 0)
+	p.onCommit([]uint64{16}, nil, 0, false, 2, 0)
+	cl := p.classify()
+	if cl.MultiHintRO == 0 {
+		t.Fatal("word shared by two NOHINT tasks must be multi-hint")
+	}
+}
+
+func TestProfilerEmpty(t *testing.T) {
+	cl := newProfiler().classify()
+	if cl.TotalAccesses != 0 {
+		t.Fatal("empty profile not empty")
+	}
+}
+
+func TestClassifyFractionsSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := newProfiler()
+		for task := uint64(0); task < 20; task++ {
+			var reads, writes []uint64
+			for i := 0; i < rng.Intn(10); i++ {
+				reads = append(reads, uint64(rng.Intn(16))*8)
+			}
+			for i := 0; i < rng.Intn(4); i++ {
+				writes = append(writes, uint64(rng.Intn(16))*8)
+			}
+			p.onCommit(reads, writes, task%5, rng.Intn(2) == 0, task, rng.Intn(3))
+		}
+		cl := p.classify()
+		if cl.TotalAccesses == 0 {
+			return true
+		}
+		sum := cl.MultiHintRO + cl.SingleHintRO + cl.MultiHintRW + cl.SingleHintRW + cl.Arguments
+		return sum > 0.999 && sum < 1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"fmt"
+
+	"swarmhints/internal/cache"
+)
+
+// CycleBreakdown is the per-category sum of core cycles, matching the
+// stacked bars of Fig. 2b / 5a / 8a / 11: cycles running eventually-
+// committed tasks, cycles running eventually-aborted tasks, cycles spent
+// spilling, cycles stalled on full task/commit queues, and cycles stalled
+// with no tasks to run.
+type CycleBreakdown struct {
+	Commit uint64
+	Abort  uint64
+	Spill  uint64
+	Stall  uint64
+	Empty  uint64
+}
+
+// Total returns the sum across categories.
+func (b CycleBreakdown) Total() uint64 {
+	return b.Commit + b.Abort + b.Spill + b.Stall + b.Empty
+}
+
+// Stats is the result of one simulation run.
+type Stats struct {
+	// Cycles is the makespan: the cycle at which the last task committed.
+	Cycles uint64
+	// Cores is the number of cores simulated.
+	Cores int
+	// Breakdown attributes Cores×Cycles aggregate core cycles.
+	Breakdown CycleBreakdown
+
+	CommittedTasks  uint64
+	AbortedAttempts uint64
+	SquashedTasks   uint64
+	SpilledTasks    uint64
+	StolenTasks     uint64
+	EnqueuedTasks   uint64
+
+	// Traffic is NoC flits injected by class: mem, abort, task, GVT
+	// (Fig. 5b legend order).
+	Traffic [4]uint64
+
+	Cache       cache.Stats
+	Comparisons uint64
+	Reconfigs   int
+	GVTRounds   uint64
+
+	// Classification is the Fig. 3/6 access profile (nil unless
+	// Config.Profile was set).
+	Classification *Classification
+}
+
+// TotalTraffic sums flits over all classes.
+func (s *Stats) TotalTraffic() uint64 {
+	var t uint64
+	for _, f := range s.Traffic {
+		t += f
+	}
+	return t
+}
+
+// WastedFraction returns aborted cycles / (aborted + committed) cycles —
+// the paper's "wasted work" metric.
+func (s *Stats) WastedFraction() float64 {
+	d := s.Breakdown.Abort + s.Breakdown.Commit
+	if d == 0 {
+		return 0
+	}
+	return float64(s.Breakdown.Abort) / float64(d)
+}
+
+// String gives a compact human-readable summary.
+func (s *Stats) String() string {
+	b := s.Breakdown
+	return fmt.Sprintf(
+		"cycles=%d cores=%d tasks=%d aborts=%d breakdown[commit=%d abort=%d spill=%d stall=%d empty=%d] flits[mem=%d abort=%d task=%d gvt=%d]",
+		s.Cycles, s.Cores, s.CommittedTasks, s.AbortedAttempts,
+		b.Commit, b.Abort, b.Spill, b.Stall, b.Empty,
+		s.Traffic[0], s.Traffic[1], s.Traffic[2], s.Traffic[3])
+}
+
+// idleReason labels why a core could not dispatch, for breakdown
+// attribution of idle gaps.
+type idleReason uint8
+
+const (
+	idleNone    idleReason = iota
+	idleEmpty              // no idle tasks on the tile
+	idleCommitQ            // commit queue full (queue stall)
+	idleSerial             // all candidates serialized behind same-hint tasks
+)

@@ -1,0 +1,483 @@
+// Package task defines Swarm task descriptors, the total speculative order,
+// and the per-tile task and commit queues that together implement the
+// "task-level reorder buffer" of Sec. II-B, including the spill coalescers
+// that free task-queue entries under pressure.
+package task
+
+import (
+	"swarmhints/internal/hashutil"
+	"swarmhints/internal/mem"
+)
+
+// FnID identifies a registered task function.
+type FnID int
+
+// HintKind distinguishes the three values the enqueue hint field can take
+// (Sec. III-A).
+type HintKind uint8
+
+const (
+	// HintInt is an explicit 64-bit integer hint.
+	HintInt HintKind = iota
+	// HintNone is NOHINT: the programmer does not know the data accessed.
+	HintNone
+	// HintSame is SAMEHINT: the child inherits the parent's hint.
+	HintSame
+)
+
+// State is the task lifecycle state.
+type State uint8
+
+const (
+	// Idle tasks sit in a task queue awaiting dispatch.
+	Idle State = iota
+	// Running tasks occupy a core.
+	Running
+	// Finished tasks await commit in the commit queue.
+	Finished
+	// Committed tasks are done and removed from all queues.
+	Committed
+	// Spilled tasks were moved to memory to free task-queue entries.
+	Spilled
+	// Squashed tasks were discarded because an ancestor aborted.
+	Squashed
+)
+
+// Order is Swarm's total speculative order: timestamp first, creation
+// sequence as the tie-break ("If multiple tasks have equal timestamp, Swarm
+// chooses an order among them", Sec. II-A).
+type Order struct {
+	TS uint64
+	ID uint64
+}
+
+// Before reports whether o precedes p in speculative order.
+func (o Order) Before(p Order) bool {
+	if o.TS != p.TS {
+		return o.TS < p.TS
+	}
+	return o.ID < p.ID
+}
+
+// MaxOrder is later than any real task order.
+var MaxOrder = Order{TS: ^uint64(0), ID: ^uint64(0)}
+
+// Task is one speculative task descriptor plus the speculative state the
+// simulator tracks for it across its lifetime.
+type Task struct {
+	ID       uint64
+	Fn       FnID
+	TS       uint64
+	Args     []uint64
+	Hint     uint64
+	HintKind HintKind
+	HintHash uint16 // carried through life, compared at dispatch (Sec. III-B)
+	Bucket   int    // LBHints bucket (Sec. VI)
+
+	State State
+	Tile  int // current home tile
+	Core  int // core while running
+
+	Parent   *Task
+	Children []*Task
+
+	// Speculative execution state for the current attempt.
+	Undo      mem.UndoLog
+	Reads     []uint64 // word addresses
+	Writes    []uint64
+	RunCycles uint64 // cycles of the current attempt
+	Aborts    int    // times this task has been aborted and retried
+
+	// DispatchCycle is when the current attempt started.
+	DispatchCycle uint64
+	// heap bookkeeping
+	heapIdx int
+}
+
+// Ord returns the task's speculative order.
+func (t *Task) Ord() Order { return Order{TS: t.TS, ID: t.ID} }
+
+// HasHint reports whether the task carries a usable integer hint.
+func (t *Task) HasHint() bool { return t.HintKind == HintInt }
+
+// ResetAttempt clears per-attempt speculative state for re-execution.
+func (t *Task) ResetAttempt() {
+	t.Undo.Reset()
+	t.Reads = t.Reads[:0]
+	t.Writes = t.Writes[:0]
+	t.RunCycles = 0
+	t.Children = t.Children[:0]
+}
+
+// NewTask builds a descriptor, resolving SAMEHINT against the parent and
+// precomputing the hashed hint.
+func NewTask(id uint64, fn FnID, ts uint64, kind HintKind, hint uint64, parent *Task, args ...uint64) *Task {
+	t := &Task{ID: id, Fn: fn, TS: ts, Args: args, HintKind: kind, Hint: hint, Parent: parent, heapIdx: -1}
+	if kind == HintSame && parent != nil && parent.HintKind == HintInt {
+		// Inherit the parent's integer hint outright.
+		t.Hint = parent.Hint
+		t.HintKind = HintInt
+	}
+	// An unresolved HintSame (parent had no integer hint) stays HintSame:
+	// the task is queued to the local tile but carries no hashed hint.
+	if t.HintKind == HintInt {
+		t.HintHash = hashutil.HintHash16(t.Hint)
+	}
+	return t
+}
+
+// DescriptorBytes is the task descriptor size sent over the NoC: function
+// pointer (8) + 64-bit timestamp (8) + up to three 64-bit args (24) + 16-bit
+// hashed hint rounded up (Sec. III-B overheads).
+func DescriptorBytes(t *Task) int {
+	n := 8 + 8 + 8*len(t.Args) + 2
+	if n < 26 {
+		n = 26
+	}
+	return n
+}
+
+// orderHeap is a min-heap of idle tasks by speculative order.
+type orderHeap []*Task
+
+func (h orderHeap) less(i, j int) bool { return h[i].Ord().Before(h[j].Ord()) }
+
+func (h *orderHeap) push(t *Task) {
+	*h = append(*h, t)
+	t.heapIdx = len(*h) - 1
+	h.up(t.heapIdx)
+}
+
+func (h *orderHeap) pop() *Task {
+	old := *h
+	t := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	old[0].heapIdx = 0
+	*h = old[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	t.heapIdx = -1
+	return t
+}
+
+func (h *orderHeap) remove(t *Task) {
+	i := t.heapIdx
+	if i < 0 {
+		return
+	}
+	old := *h
+	last := len(old) - 1
+	old[i] = old[last]
+	old[i].heapIdx = i
+	*h = old[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	t.heapIdx = -1
+}
+
+func (h orderHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		h[i].heapIdx, h[p].heapIdx = i, p
+		i = p
+	}
+}
+
+func (h orderHeap) down(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h.less(l, s) {
+			s = l
+		}
+		if r < n && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		h[i], h[s] = h[s], h[i]
+		h[i].heapIdx, h[s].heapIdx = i, s
+		i = s
+	}
+}
+
+// Queue is one tile's task unit storage: every task physically resident on
+// the tile (idle, running, or finished) counts against the task-queue
+// capacity; finished tasks additionally occupy commit-queue entries.
+type Queue struct {
+	tile        int
+	capacity    int
+	commitCap   int
+	idle        orderHeap
+	resident    int // idle + running + finished tasks on this tile
+	commitUsed  int
+	spillBuffer []*Task // tasks spilled to memory, kept in order
+}
+
+// NewQueue builds a tile queue with the given task-queue and commit-queue
+// capacities (entries, already multiplied by cores/tile).
+func NewQueue(tile, capacity, commitCap int) *Queue {
+	return &Queue{tile: tile, capacity: capacity, commitCap: commitCap}
+}
+
+// Tile returns the owning tile id.
+func (q *Queue) Tile() int { return q.tile }
+
+// Capacity returns the task-queue capacity.
+func (q *Queue) Capacity() int { return q.capacity }
+
+// Resident returns the number of resident tasks.
+func (q *Queue) Resident() int { return q.resident }
+
+// IdleCount returns the number of dispatchable tasks.
+func (q *Queue) IdleCount() int { return len(q.idle) }
+
+// SpilledCount returns the number of tasks spilled to memory.
+func (q *Queue) SpilledCount() int { return len(q.spillBuffer) }
+
+// Full reports whether a new task cannot be accepted.
+func (q *Queue) Full() bool { return q.resident >= q.capacity }
+
+// NearlyFull reports whether occupancy reached the coalescer threshold.
+func (q *Queue) NearlyFull(thresholdPct int) bool {
+	return q.resident*100 >= q.capacity*thresholdPct
+}
+
+// CommitSlotFree reports whether a finished task could be accepted.
+func (q *Queue) CommitSlotFree() bool { return q.commitUsed < q.commitCap }
+
+// CommitUsed returns occupied commit-queue entries.
+func (q *Queue) CommitUsed() int { return q.commitUsed }
+
+// Enqueue accepts an idle task. Returns false when the queue is full.
+func (q *Queue) Enqueue(t *Task) bool {
+	if q.Full() {
+		return false
+	}
+	t.State = Idle
+	t.Tile = q.tile
+	q.idle.push(t)
+	q.resident++
+	return true
+}
+
+// PeekEarliest returns the earliest-order idle task without removing it.
+func (q *Queue) PeekEarliest() *Task {
+	if len(q.idle) == 0 {
+		return nil
+	}
+	return q.idle[0]
+}
+
+// IdleInOrder iterates idle tasks in speculative order, calling fn until it
+// returns false. Used by dispatch to skip hint-serialized candidates
+// (Sec. III-B). The walk is O(k log k) only for the tasks visited.
+func (q *Queue) IdleInOrder(fn func(*Task) bool) {
+	// Small tiles have few idle tasks; copy+sort the heap view lazily by
+	// repeatedly scanning for successive minima among unvisited entries.
+	// For efficiency we pop into a scratch slice and push back.
+	var scratch []*Task
+	defer func() {
+		for _, t := range scratch {
+			q.idle.push(t)
+		}
+	}()
+	for len(q.idle) > 0 {
+		t := q.idle.pop()
+		scratch = append(scratch, t)
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Dispatch removes an idle task for execution on a core, reserving its
+// commit-queue entry up front so a finished task always has somewhere to
+// hold its speculative state. Callers must check CommitSlotFree first.
+func (q *Queue) Dispatch(t *Task, core int) {
+	q.idle.remove(t)
+	t.State = Running
+	t.Core = core
+	q.commitUsed++
+}
+
+// Finish marks a running task as finished; its commit-queue entry was
+// reserved at dispatch.
+func (q *Queue) Finish(t *Task) {
+	t.State = Finished
+}
+
+// Commit removes a finished task from the tile entirely.
+func (q *Queue) Commit(t *Task) {
+	t.State = Committed
+	q.commitUsed--
+	q.resident--
+}
+
+// AbortRunning returns a running task to idle for retry, releasing its
+// reserved commit slot.
+func (q *Queue) AbortRunning(t *Task) {
+	q.commitUsed--
+	t.State = Idle
+	t.Aborts++
+	q.idle.push(t)
+}
+
+// AbortFinished returns a finished task to idle, freeing its commit slot.
+func (q *Queue) AbortFinished(t *Task) {
+	q.commitUsed--
+	t.State = Idle
+	t.Aborts++
+	q.idle.push(t)
+}
+
+// Squash removes an idle task entirely (its parent aborted; the parent will
+// re-create it when it re-runs).
+func (q *Queue) Squash(t *Task) {
+	q.idle.remove(t)
+	t.State = Squashed
+	q.resident--
+}
+
+// SquashRunning discards a running task whose ancestor aborted.
+func (q *Queue) SquashRunning(t *Task) {
+	q.commitUsed--
+	q.resident--
+	t.State = Squashed
+}
+
+// SquashFinished discards a finished task whose ancestor aborted.
+func (q *Queue) SquashFinished(t *Task) {
+	q.commitUsed--
+	q.resident--
+	t.State = Squashed
+}
+
+// SpillDirect sends a brand-new task straight to the spill buffer, used
+// when the task queue is exhausted and nothing is spillable: the descriptor
+// overflows to memory rather than stalling the enqueuer forever.
+func (q *Queue) SpillDirect(t *Task) {
+	t.State = Spilled
+	t.Tile = q.tile
+	q.spillBuffer = append(q.spillBuffer, t)
+}
+
+// RemoveIdle extracts an idle task (for stealing) without squashing it.
+func (q *Queue) RemoveIdle(t *Task) {
+	q.idle.remove(t)
+	q.resident--
+}
+
+// Spill moves up to max idle tasks with the latest orders out to memory,
+// preferring tasks whose parent has committed or that have no live parent
+// (Sec. II-B). It returns the spilled tasks so the caller can charge cycles
+// and traffic.
+func (q *Queue) Spill(max int) []*Task {
+	if max <= 0 || len(q.idle) == 0 {
+		return nil
+	}
+	// Find the latest-order spillable idle tasks: scan the heap slice (it
+	// is not sorted, a full scan is fine at these sizes).
+	var cands []*Task
+	for _, t := range q.idle {
+		if t.Parent == nil || t.Parent.State == Committed || t.Parent.State == Finished || t.Parent.State == Running {
+			cands = append(cands, t)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sortTasksByOrderDesc(cands)
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	for _, t := range cands {
+		q.idle.remove(t)
+		q.resident--
+		t.State = Spilled
+		q.spillBuffer = append(q.spillBuffer, t)
+	}
+	return cands
+}
+
+// Refill moves up to max spilled tasks back into the queue while space
+// allows, earliest order first. It returns the refilled tasks.
+func (q *Queue) Refill(max int) []*Task {
+	if len(q.spillBuffer) == 0 {
+		return nil
+	}
+	sortTasksByOrderDesc(q.spillBuffer) // last element = earliest
+	var back []*Task
+	for len(back) < max && len(q.spillBuffer) > 0 && !q.Full() {
+		t := q.spillBuffer[len(q.spillBuffer)-1]
+		if t.State == Squashed { // parent aborted while spilled
+			q.spillBuffer = q.spillBuffer[:len(q.spillBuffer)-1]
+			continue
+		}
+		q.spillBuffer = q.spillBuffer[:len(q.spillBuffer)-1]
+		t.State = Idle
+		q.idle.push(t)
+		q.resident++
+		back = append(back, t)
+	}
+	return back
+}
+
+// DropSquashedSpills removes squashed tasks from the spill buffer.
+func (q *Queue) DropSquashedSpills() {
+	out := q.spillBuffer[:0]
+	for _, t := range q.spillBuffer {
+		if t.State != Squashed {
+			out = append(out, t)
+		}
+	}
+	q.spillBuffer = out
+}
+
+// EarliestUncommitted returns the earliest order among all tasks this tile
+// is responsible for (idle, running, finished, spilled), or MaxOrder. The
+// GVT arbiter aggregates this across tiles.
+func (q *Queue) EarliestUncommitted(running []*Task, finished []*Task) Order {
+	best := MaxOrder
+	if len(q.idle) > 0 && q.idle[0].Ord().Before(best) {
+		best = q.idle[0].Ord()
+	}
+	for _, t := range q.spillBuffer {
+		if t.State == Spilled && t.Ord().Before(best) {
+			best = t.Ord()
+		}
+	}
+	for _, t := range running {
+		if t != nil && t.Ord().Before(best) {
+			best = t.Ord()
+		}
+	}
+	for _, t := range finished {
+		if t.Ord().Before(best) {
+			best = t.Ord()
+		}
+	}
+	return best
+}
+
+func sortTasksByOrderDesc(ts []*Task) {
+	for i := 1; i < len(ts); i++ {
+		t := ts[i]
+		j := i - 1
+		for j >= 0 && ts[j].Ord().Before(t.Ord()) {
+			ts[j+1] = ts[j]
+			j--
+		}
+		ts[j+1] = t
+	}
+}

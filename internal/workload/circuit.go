@@ -1,0 +1,171 @@
+package workload
+
+// Circuit is a feed-forward gate-level digital circuit, the des input. The
+// generator builds a carry-save adder array, the structure of the paper's
+// csaArray32 input: W full-adder slices, each made of XOR/AND/OR gates, with
+// ripple connections between slices.
+type Circuit struct {
+	// Per gate: kind, the two input gate IDs (-1 = external input), and
+	// propagation delay in simulated time units.
+	Kind  []GateKind
+	In0   []int32
+	In1   []int32
+	Delay []uint32
+	// Fanout lists: for each gate, the (gate, pin) pairs its output feeds.
+	Fanout [][]Pin
+	// ExternalInputs are the gates fed directly by waveforms (their In0 is
+	// -1); waveforms toggle these.
+	ExternalInputs []int32
+}
+
+// GateKind is the boolean function of a gate.
+type GateKind uint8
+
+// Gate kinds.
+const (
+	GateXOR GateKind = iota
+	GateAND
+	GateOR
+	GateNOT
+	GateBUF // buffer; used for external-input stubs
+)
+
+// Pin identifies one input pin of a gate.
+type Pin struct {
+	Gate int32
+	Pin  uint8
+}
+
+// Eval computes a gate's output from its input values (0/1).
+func (k GateKind) Eval(a, b uint64) uint64 {
+	switch k {
+	case GateXOR:
+		return a ^ b
+	case GateAND:
+		return a & b
+	case GateOR:
+		return a | b
+	case GateNOT:
+		return 1 &^ a
+	case GateBUF:
+		return a
+	}
+	return 0
+}
+
+// N returns the number of gates.
+func (c *Circuit) N() int { return len(c.Kind) }
+
+func (c *Circuit) addGate(k GateKind, delay uint32) int {
+	c.Kind = append(c.Kind, k)
+	c.In0 = append(c.In0, -1)
+	c.In1 = append(c.In1, -1)
+	c.Delay = append(c.Delay, delay)
+	c.Fanout = append(c.Fanout, nil)
+	return len(c.Kind) - 1
+}
+
+// connect wires src's output into pin p of dst.
+func (c *Circuit) connect(src, dst int, p uint8) {
+	if p == 0 {
+		c.In0[dst] = int32(src)
+	} else {
+		c.In1[dst] = int32(src)
+	}
+	c.Fanout[src] = append(c.Fanout[src], Pin{Gate: int32(dst), Pin: p})
+}
+
+// CSAArray builds a carry-save adder ARRAY: rows of width-bit carry-save
+// adder slices, the sum/carry outputs of each row feeding the operand
+// inputs of the next (as in the csaArray32 input: a 2-D array of full
+// adders, thousands of gates). Gate delays vary by kind, so event
+// timestamps spread realistically.
+func CSAArray(width, rows int) *Circuit {
+	c := &Circuit{}
+	var prevSum, prevCout []int
+	for r := 0; r < rows; r++ {
+		sums, couts := c.addCSARow(width, prevSum, prevCout)
+		prevSum, prevCout = sums, couts
+	}
+	return c
+}
+
+// addCSARow appends one width-bit carry-save row. Operand inputs come from
+// the previous row's sum/carry outputs when available, otherwise from fresh
+// external inputs.
+func (c *Circuit) addCSARow(width int, feedA, feedB []int) (sums, couts []int) {
+	delays := map[GateKind]uint32{GateXOR: 3, GateAND: 2, GateOR: 2, GateBUF: 1}
+	operand := func(feed []int, b int) int {
+		if feed != nil && b < len(feed) {
+			return feed[b]
+		}
+		g := c.addGate(GateBUF, delays[GateBUF])
+		c.ExternalInputs = append(c.ExternalInputs, int32(g))
+		return g
+	}
+	var prevCarry = -1
+	for b := 0; b < width; b++ {
+		a := operand(feedA, b)
+		bb := operand(feedB, b)
+		// The third operand bit is always a fresh external input.
+		cc := c.addGate(GateBUF, delays[GateBUF])
+		c.ExternalInputs = append(c.ExternalInputs, int32(cc))
+		// Full adder: s1 = a^b; sum = s1^cin; c1 = a&b; c2 = s1&cin;
+		// cout = c1|c2. cin is the previous slice's carry (or operand c).
+		s1 := c.addGate(GateXOR, delays[GateXOR])
+		c.connect(a, s1, 0)
+		c.connect(bb, s1, 1)
+		cin := cc
+		if prevCarry >= 0 {
+			// Mix the ripple carry with this slice's third operand.
+			mix := c.addGate(GateXOR, delays[GateXOR])
+			c.connect(cc, mix, 0)
+			c.connect(prevCarry, mix, 1)
+			cin = mix
+		}
+		sum := c.addGate(GateXOR, delays[GateXOR])
+		c.connect(s1, sum, 0)
+		c.connect(cin, sum, 1)
+		c1 := c.addGate(GateAND, delays[GateAND])
+		c.connect(a, c1, 0)
+		c.connect(bb, c1, 1)
+		c2 := c.addGate(GateAND, delays[GateAND])
+		c.connect(s1, c2, 0)
+		c.connect(cin, c2, 1)
+		cout := c.addGate(GateOR, delays[GateOR])
+		c.connect(c1, cout, 0)
+		c.connect(c2, cout, 1)
+		prevCarry = cout
+		sums = append(sums, sum)
+		couts = append(couts, cout)
+	}
+	return sums, couts
+}
+
+// Waveform is one external stimulus: at time TS, external input Gate's
+// value becomes Val.
+type Waveform struct {
+	TS   uint64
+	Gate int32
+	Val  uint64
+}
+
+// CSAWaveforms generates nToggles input transitions spread over the run,
+// cycling through the external inputs with alternating values — the des
+// event stimulus.
+func CSAWaveforms(c *Circuit, nToggles int, seed int64) []Waveform {
+	out := make([]Waveform, 0, nToggles)
+	nIn := len(c.ExternalInputs)
+	state := make([]uint64, nIn)
+	// Deterministic LCG so toggles look irregular but reproducible.
+	x := uint64(seed)*6364136223846793005 + 1442695040888963407
+	ts := uint64(1)
+	for i := 0; i < nToggles; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		in := int(x>>33) % nIn
+		state[in] ^= 1
+		out = append(out, Waveform{TS: ts, Gate: c.ExternalInputs[in], Val: state[in]})
+		ts += 1 + (x>>55)%7
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package workload
+
+import "math/rand"
+
+// --- nocsim: tornado traffic for a K×K mesh (GARNET substitute) ---
+
+// Packet is one NoC packet injection for nocsim.
+type Packet struct {
+	TS       uint64
+	Src, Dst int32 // router ids on the simulated KxK mesh
+}
+
+// Tornado generates tornado-pattern traffic on a k×k mesh: every router
+// sends to the router halfway around its row ((x + ⌈k/2⌉ - 1) mod k), the
+// classic adversarial pattern used in the paper's nocsim runs. rate is
+// packets per router per 100 time units; horizon is the injection window.
+func Tornado(k int, rate int, horizon uint64, seed int64) []Packet {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Packet
+	for r := 0; r < k*k; r++ {
+		x, y := r%k, r/k
+		dx := (x + (k+1)/2 - 1) % k
+		dst := int32(y*k + dx)
+		for t := uint64(0); t < horizon; t += 100 {
+			for i := 0; i < rate; i++ {
+				jitter := uint64(rng.Intn(100))
+				out = append(out, Packet{TS: t + jitter, Src: int32(r), Dst: dst})
+			}
+		}
+	}
+	return out
+}
+
+// --- silo: TPC-C-like transaction mix ---
+
+// TxnKind distinguishes the two transaction types in the mix.
+type TxnKind uint8
+
+// Transaction kinds (a NewOrder-heavy mix, as in TPC-C).
+const (
+	TxnNewOrder TxnKind = iota
+	TxnPayment
+)
+
+// Txn is one database transaction's parameters, all known at creation time
+// (the property silo's hints exploit: table + primary key identify each
+// tuple before execution).
+type Txn struct {
+	Kind      TxnKind
+	Warehouse int32
+	District  int32
+	Customer  int32
+	Items     []int32 // NewOrder order lines (stock keys)
+	Qty       []int32
+	Amount    int64 // Payment amount
+}
+
+// TPCCConfig sizes the synthetic database.
+type TPCCConfig struct {
+	Warehouses int
+	Districts  int // per warehouse
+	Customers  int // per district
+	Items      int
+}
+
+// DefaultTPCC mirrors the paper's 4-warehouse configuration at reduced
+// item counts.
+func DefaultTPCC() TPCCConfig {
+	return TPCCConfig{Warehouses: 4, Districts: 10, Customers: 32, Items: 256}
+}
+
+// TPCCTxns generates n transactions: ~90% NewOrder with 5-8 order lines,
+// ~10% Payment, with warehouse/district/item skew so some tuples are hot.
+func TPCCTxns(cfg TPCCConfig, n int, seed int64) []Txn {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Txn, n)
+	for i := range out {
+		t := Txn{
+			Warehouse: int32(rng.Intn(cfg.Warehouses)),
+			District:  int32(rng.Intn(cfg.Districts)),
+			Customer:  int32(rng.Intn(cfg.Customers)),
+		}
+		if rng.Intn(10) == 0 {
+			t.Kind = TxnPayment
+			t.Amount = int64(1 + rng.Intn(5000))
+		} else {
+			t.Kind = TxnNewOrder
+			lines := 5 + rng.Intn(4)
+			for l := 0; l < lines; l++ {
+				// Mild Zipf-ish skew: a quarter of lines hit the popular
+				// eighth of the catalog.
+				it := rng.Intn(cfg.Items)
+				if rng.Intn(4) == 0 {
+					it = rng.Intn(cfg.Items/8 + 1)
+				}
+				t.Items = append(t.Items, int32(it))
+				t.Qty = append(t.Qty, int32(1+rng.Intn(10)))
+			}
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// --- genome: overlapping gene segments ---
+
+// GenomeInput is the gene-sequencing workload: nSegments overlapping
+// windows over a random genome, each duplicated and shuffled, to be
+// deduplicated and re-linked by overlap (the STAMP genome structure).
+type GenomeInput struct {
+	SegWords int      // words of packed bases per segment
+	Segments []uint64 // nTotal * SegWords packed contents
+	NUnique  int
+	// TrueNext[i] is the unique-segment index following unique segment i in
+	// the original genome (-1 for the last); the reference answer.
+	TrueNext []int32
+}
+
+// Genome builds nUnique segments of segWords words each, where segment i+1
+// shares its first word with segment i's last word (the overlap used for
+// matching). Each segment appears `dups` times, shuffled.
+func Genome(nUnique, segWords, dups int, seed int64) *GenomeInput {
+	if segWords < 2 {
+		segWords = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	in := &GenomeInput{SegWords: segWords, NUnique: nUnique}
+	// Generate unique contents with chained overlap words.
+	overlap := make([]uint64, nUnique+1)
+	for i := range overlap {
+		overlap[i] = rng.Uint64() | 1 // never zero
+	}
+	unique := make([][]uint64, nUnique)
+	for i := 0; i < nUnique; i++ {
+		seg := make([]uint64, segWords)
+		seg[0] = overlap[i]
+		for w := 1; w < segWords-1; w++ {
+			seg[w] = rng.Uint64() | 1
+		}
+		seg[segWords-1] = overlap[i+1]
+		unique[i] = seg
+	}
+	in.TrueNext = make([]int32, nUnique)
+	for i := range in.TrueNext {
+		if i == nUnique-1 {
+			in.TrueNext[i] = -1
+		} else {
+			in.TrueNext[i] = int32(i + 1)
+		}
+	}
+	// Duplicate and shuffle.
+	order := make([]int, 0, nUnique*dups)
+	for i := 0; i < nUnique; i++ {
+		for d := 0; d < dups; d++ {
+			order = append(order, i)
+		}
+	}
+	rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+	for _, i := range order {
+		in.Segments = append(in.Segments, unique[i]...)
+	}
+	return in
+}
+
+// --- kmeans: Gaussian point clouds ---
+
+// Points is the kmeans input: n points of d fixed-point coordinates drawn
+// around k true centers.
+type Points struct {
+	N, D, K int
+	Coords  []int64 // n*d fixed-point values
+}
+
+// KMeansPoints draws n points in d dimensions around k Gaussian centers
+// (the rnd-n16K-d24-c16 substitute), as integers scaled by 1000.
+func KMeansPoints(n, d, k int, seed int64) *Points {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]int64, k*d)
+	for i := range centers {
+		centers[i] = int64(rng.Intn(2_000_000)) - 1_000_000
+	}
+	p := &Points{N: n, D: d, K: k, Coords: make([]int64, n*d)}
+	for i := 0; i < n; i++ {
+		c := rng.Intn(k)
+		for j := 0; j < d; j++ {
+			noise := int64(rng.NormFloat64() * 50_000)
+			p.Coords[i*d+j] = centers[c*d+j] + noise
+		}
+	}
+	return p
+}
