@@ -1,7 +1,9 @@
 // Package swarmhints_test hosts one testing.B benchmark per table and
-// figure of the paper's evaluation (see DESIGN.md's per-experiment index).
-// Each benchmark regenerates its experiment at Tiny scale with a reduced
-// core sweep so `go test -bench=.` completes in minutes; use
+// figure of the paper's evaluation (see DESIGN.md's per-experiment index),
+// plus engine hot-path micro-benchmarks (allocs/op on the enqueue/commit
+// path) and a sweep-level wall-clock benchmark over internal/runner.
+// Each figure benchmark regenerates its experiment at Tiny scale with a
+// reduced core sweep so `go test -bench=.` completes in minutes; use
 // `go run ./cmd/experiments -scale small` (or full) for the recorded
 // EXPERIMENTS.md numbers.
 package swarmhints_test
@@ -12,6 +14,8 @@ import (
 
 	"swarmhints/internal/bench"
 	"swarmhints/internal/exp"
+	"swarmhints/internal/runner"
+	"swarmhints/swarm"
 )
 
 func benchRunner() *exp.Runner {
@@ -72,3 +76,106 @@ func BenchmarkLBProxy(b *testing.B) { runExperiment(b, exp.LBProxy) }
 // BenchmarkSummary regenerates the Sec. VI-B aggregate numbers (gmean
 // speedups, wasted-work and traffic reductions).
 func BenchmarkSummary(b *testing.B) { runExperiment(b, exp.Summary) }
+
+// treeProgram builds a program whose root fans out a binary tree of the
+// given depth; each leaf read-modify-writes a private word. With 2^depth
+// leaves and 2^(depth+1)-1 tasks total, the run is dominated by the engine's
+// enqueue → dispatch → commit path, making it the micro-benchmark for
+// per-task allocation overhead.
+func treeProgram(depth int) *swarm.Program {
+	p := swarm.NewProgram()
+	leaves := uint64(1) << uint(depth)
+	slots := p.Mem.AllocWords(leaves)
+	var fn swarm.FnID
+	fn = p.Register("node", func(c *swarm.Ctx) {
+		d, idx := c.Arg(0), c.Arg(1)
+		if d == 0 {
+			addr := slots + idx*8
+			c.Write(addr, c.Read(addr)+1)
+			return
+		}
+		c.Enqueue(fn, c.TS()+1, slots+idx*16, d-1, idx*2)
+		c.EnqueueSameHint(fn, c.TS()+1, d-1, idx*2+1)
+	})
+	p.EnqueueRoot(fn, 0, slots, uint64(depth), 0)
+	return p
+}
+
+// engineBench runs one engine-level micro-benchmark configuration and
+// reports allocations per simulated task, the number every hot-path
+// optimization PR must not regress.
+func engineBench(b *testing.B, build func() *swarm.Program, cores int, kind swarm.SchedKind) {
+	b.Helper()
+	cfg := swarm.ScaledConfig().WithCores(cores)
+	cfg.Scheduler = kind
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tasks uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := build()
+		b.StartTimer()
+		st, err := p.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks += st.CommittedTasks
+	}
+	b.ReportMetric(float64(tasks)/float64(b.N), "tasks/op")
+}
+
+// BenchmarkEngineEnqueueCommit measures the conflict-free enqueue/commit
+// throughput path: a 16K-task fan-out tree under Hints on 16 cores.
+func BenchmarkEngineEnqueueCommit(b *testing.B) {
+	engineBench(b, func() *swarm.Program { return treeProgram(13) }, 16, swarm.Hints)
+}
+
+// BenchmarkEngineContended measures the abort/retry path: 4096 same-hint
+// increments of one shared counter, which serializes through conflict
+// detection and commit-queue pressure.
+func BenchmarkEngineContended(b *testing.B) {
+	build := func() *swarm.Program {
+		p := swarm.NewProgram()
+		ctr := p.Mem.AllocWords(1)
+		var fn swarm.FnID
+		fn = p.Register("inc", func(c *swarm.Ctx) {
+			c.Write(ctr, c.Read(ctr)+1)
+		})
+		for i := 0; i < 4096; i++ {
+			p.EnqueueRoot(fn, uint64(i), ctr)
+		}
+		return p
+	}
+	engineBench(b, build, 16, swarm.Hints)
+}
+
+// BenchmarkSweepRunner measures sweep-level wall clock through
+// internal/runner: the bfs benchmark at Tiny scale across a core sweep,
+// executed by the worker pool at GOMAXPROCS parallelism.
+func BenchmarkSweepRunner(b *testing.B) {
+	coreSweep := []int{1, 4, 16, 64}
+	jobs := make([]runner.Job, len(coreSweep))
+	for i, cores := range coreSweep {
+		cores := cores
+		jobs[i] = runner.Job{
+			Name: "bfs",
+			Run: func(seed int64) (*swarm.Stats, error) {
+				inst, err := bench.Build("bfs", bench.Tiny, seed)
+				if err != nil {
+					return nil, err
+				}
+				cfg := swarm.ScaledConfig().WithCores(cores)
+				cfg.Scheduler = swarm.Hints
+				return inst.Prog.Run(cfg)
+			},
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := runner.Sweep(jobs, runner.Options{Seed: 7})
+		if err := runner.FirstErr(results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

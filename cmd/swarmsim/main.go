@@ -1,11 +1,21 @@
-// Command swarmsim runs one benchmark under one scheduler on one machine
-// size and prints the run statistics: makespan, cycle breakdown, traffic
-// breakdown, and speculation counters.
+// Command swarmsim runs Swarm simulations: a single benchmark under one
+// scheduler on one machine size with detailed statistics, or a full
+// paper-style sweep — benchmarks × schedulers × core counts × task/commit
+// queue sizes × seed replicas — executed concurrently through the parallel
+// sweep runner (internal/runner) in one command.
+//
+// Every comma-separated flag value widens the sweep; when the sweep has
+// exactly one point the detailed single-run report is printed, otherwise
+// one table row per run, in sweep order regardless of completion order.
+// Results are byte-identical for every -parallel value.
 //
 // Usage:
 //
 //	swarmsim -bench sssp -sched hints -cores 64 -scale small
 //	swarmsim -bench des -sched lbhints -cores 256 -profile
+//	swarmsim -bench bfs,sssp,des -sched random,hints -cores 1,16,64 -parallel 8
+//	swarmsim -bench silo -cores 64 -taskq 16,32,64 -commitq 4,8,16
+//	swarmsim -bench des -cores 64 -seeds 5       # 5 derived-seed replicas
 //	swarmsim -list
 package main
 
@@ -13,22 +23,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"swarmhints/internal/bench"
+	"swarmhints/internal/runner"
 	"swarmhints/swarm"
 )
 
 func main() {
 	var (
-		benchName = flag.String("bench", "sssp", "benchmark name (see -list)")
-		schedName = flag.String("sched", "hints", "scheduler: random|stealing|hints|lbhints|lbidle")
-		cores     = flag.Int("cores", 64, "number of cores (1 or 4*K*K)")
-		scaleName = flag.String("scale", "small", "input scale: tiny|small|full")
-		seed      = flag.Int64("seed", 7, "workload seed")
-		profile   = flag.Bool("profile", false, "collect access classification (Fig. 3)")
-		validate  = flag.Bool("validate", true, "check the result against the serial reference")
-		list      = flag.Bool("list", false, "list benchmarks and exit")
+		benchList  = flag.String("bench", "sssp", "benchmark name(s), comma-separated (see -list)")
+		schedList  = flag.String("sched", "hints", "scheduler(s), comma-separated: random|stealing|hints|lbhints|lbidle")
+		coresList  = flag.String("cores", "64", "core count(s), comma-separated (1 or 4*K*K)")
+		taskqList  = flag.String("taskq", "", "task-queue entries per core, comma-separated (default: scaled config)")
+		commitList = flag.String("commitq", "", "commit-queue entries per core, comma-separated (default: scaled config)")
+		scaleName  = flag.String("scale", "small", "input scale: tiny|small|full")
+		seed       = flag.Int64("seed", 7, "workload seed (sweep seed when -seeds > 1)")
+		seeds      = flag.Int("seeds", 1, "seed replicas per configuration, derived from -seed")
+		parallel   = flag.Int("parallel", 0, "runs in flight at once (0 = GOMAXPROCS)")
+		profile    = flag.Bool("profile", false, "collect access classification (Fig. 3; single run only)")
+		validate   = flag.Bool("validate", true, "check results against the serial reference")
+		list       = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
 
@@ -37,33 +53,163 @@ func main() {
 		return
 	}
 
-	kind, err := parseSched(*schedName)
-	if err != nil {
-		fatal(err)
-	}
 	scale, err := parseScale(*scaleName)
 	if err != nil {
 		fatal(err)
 	}
-	inst, err := bench.Build(*benchName, scale, *seed)
+	benches := splitList(*benchList)
+	var kinds []swarm.SchedKind
+	for _, s := range splitList(*schedList) {
+		k, err := parseSched(s)
+		if err != nil {
+			fatal(err)
+		}
+		kinds = append(kinds, k)
+	}
+	cores, err := parseInts(*coresList, "-cores")
 	if err != nil {
 		fatal(err)
+	}
+	taskqs, err := parseInts(*taskqList, "-taskq")
+	if err != nil {
+		fatal(err)
+	}
+	commitqs, err := parseInts(*commitList, "-commitq")
+	if err != nil {
+		fatal(err)
+	}
+	if len(benches) == 0 {
+		fatal(fmt.Errorf("-bench lists no benchmarks"))
+	}
+	if len(kinds) == 0 {
+		fatal(fmt.Errorf("-sched lists no schedulers"))
+	}
+	if len(cores) == 0 {
+		fatal(fmt.Errorf("-cores lists no core counts"))
+	}
+	// Zero means "keep the scaled config's default" for queue dimensions.
+	if len(taskqs) == 0 {
+		taskqs = []int{0}
+	}
+	if len(commitqs) == 0 {
+		commitqs = []int{0}
+	}
+	if *seeds < 1 {
+		*seeds = 1
 	}
 
-	cfg := swarm.ScaledConfig().WithCores(*cores)
-	cfg.Scheduler = kind
-	cfg.Profile = *profile
-	st, err := inst.Prog.Run(cfg)
-	if err != nil {
-		fatal(err)
+	// point is one sweep coordinate, enumerated in deterministic order.
+	type point struct {
+		bench   string
+		kind    swarm.SchedKind
+		cores   int
+		taskq   int
+		commitq int
+		replica int
 	}
-	if *validate {
-		if err := inst.Validate(); err != nil {
-			fatal(fmt.Errorf("validation failed: %w", err))
+	var points []point
+	for _, b := range benches {
+		for _, k := range kinds {
+			for _, c := range cores {
+				for _, tq := range taskqs {
+					for _, cq := range commitqs {
+						for rep := 0; rep < *seeds; rep++ {
+							points = append(points, point{b, k, c, tq, cq, rep})
+						}
+					}
+				}
+			}
 		}
 	}
 
-	fmt.Printf("benchmark   %s (%s, hint pattern: %s)\n", inst.Name, *scaleName, inst.HintPattern)
+	var hintPattern string // recorded for the single-run report
+	makeJob := func(p point) runner.Job {
+		return runner.Job{
+			Name: fmt.Sprintf("%s/%v/%dc", p.bench, p.kind, p.cores),
+			Run: func(int64) (*swarm.Stats, error) {
+				// Single-seed sweeps keep the fixed workload seed so every
+				// configuration sees the same input (paper methodology).
+				// Replicas derive from the replica index, not the sweep job
+				// index, so replica r of every configuration shares one
+				// workload and stays reproducible as the sweep shape changes.
+				s := *seed
+				if *seeds > 1 {
+					s = runner.DeriveSeed(*seed, p.replica)
+				}
+				inst, err := bench.Build(p.bench, scale, s)
+				if err != nil {
+					return nil, err
+				}
+				if len(points) == 1 {
+					hintPattern = inst.HintPattern // no race: single job
+				}
+				cfg := swarm.ScaledConfig().WithCores(p.cores)
+				cfg.Scheduler = p.kind
+				cfg.Profile = *profile && len(points) == 1
+				if p.taskq > 0 {
+					cfg.TaskQPerCore = p.taskq
+				}
+				if p.commitq > 0 {
+					cfg.CommitQPerCore = p.commitq
+				}
+				st, err := inst.Prog.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				if *validate {
+					if err := inst.Validate(); err != nil {
+						return nil, fmt.Errorf("validation failed: %w", err)
+					}
+				}
+				return st, nil
+			},
+		}
+	}
+
+	jobs := make([]runner.Job, len(points))
+	for i, p := range points {
+		jobs[i] = makeJob(p)
+	}
+	done := 0
+	results := runner.Sweep(jobs, runner.Options{
+		Parallel: *parallel,
+		Seed:     *seed,
+		OnResult: func(res runner.Result) {
+			done++
+			fmt.Fprintf(os.Stderr, "swarmsim: [%d/%d] %s\n", done, len(jobs), res.Name)
+		},
+	})
+	if err := runner.FirstErr(results); err != nil {
+		fatal(err)
+	}
+
+	if len(points) == 1 {
+		p := points[0]
+		printDetailed(p.bench, *scaleName, hintPattern, p.cores, p.kind, *validate, results[0].Stats)
+		return
+	}
+
+	fmt.Printf("%-10s %-9s %6s %6s %7s %4s %14s %10s %8s %8s %12s\n",
+		"bench", "sched", "cores", "taskq", "commitq", "rep", "cycles", "tasks", "aborts", "spills", "flits")
+	for i, p := range points {
+		st := results[i].Stats
+		tq, cq := p.taskq, p.commitq
+		if tq == 0 {
+			tq = swarm.ScaledConfig().TaskQPerCore
+		}
+		if cq == 0 {
+			cq = swarm.ScaledConfig().CommitQPerCore
+		}
+		fmt.Printf("%-10s %-9v %6d %6d %7d %4d %14d %10d %8d %8d %12d\n",
+			p.bench, p.kind, p.cores, tq, cq, p.replica,
+			st.Cycles, st.CommittedTasks, st.AbortedAttempts, st.SpilledTasks, st.TotalTraffic())
+	}
+}
+
+// printDetailed reproduces the single-run report.
+func printDetailed(benchName, scaleName, hintPattern string, cores int, kind swarm.SchedKind, validated bool, st *swarm.Stats) {
+	cfg := swarm.ScaledConfig().WithCores(cores)
+	fmt.Printf("benchmark   %s (%s, hint pattern: %s)\n", benchName, scaleName, hintPattern)
 	fmt.Printf("machine     %d cores, scheduler %v\n", cfg.Cores(), kind)
 	fmt.Printf("makespan    %d cycles\n", st.Cycles)
 	fmt.Printf("tasks       %d committed, %d aborted attempts, %d squashed, %d spilled, %d stolen\n",
@@ -84,9 +230,31 @@ func main() {
 		fmt.Printf("accesses    multiRO %.3f  singleRO %.3f  multiRW %.3f  singleRW %.3f  args %.3f\n",
 			cl.MultiHintRO, cl.SingleHintRO, cl.MultiHintRW, cl.SingleHintRW, cl.Arguments)
 	}
-	if *validate {
+	if validated {
 		fmt.Println("validation  OK (matches serial reference)")
 	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s, flagName string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s value %q", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func parseSched(s string) (swarm.SchedKind, error) {

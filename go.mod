@@ -1,0 +1,3 @@
+module swarmhints
+
+go 1.22

@@ -1,6 +1,9 @@
 package conflict
 
-import "swarmhints/internal/task"
+import (
+	"swarmhints/internal/mem"
+	"swarmhints/internal/task"
+)
 
 // Index is the precise per-address accessor map used for conflict detection.
 // Swarm filters checks through Bloom signatures and then resolves precisely;
@@ -11,6 +14,18 @@ type Index struct {
 	// simulator turns into conflict-check latency (Table II: 5 cycles +
 	// 1 cycle per timestamp compared).
 	Comparisons uint64
+
+	// AbortSet scratch, reused across aborts so closure computation does
+	// not allocate. Valid until the next AbortSet call; per-Index, so
+	// concurrent engines in a sweep never share it.
+	setScratch  map[*task.Task]bool
+	workScratch []*task.Task
+	outScratch  []*task.Task
+
+	// entryPool recycles entries (with their accessor-slice capacity) that
+	// Remove deleted once their address went quiet; most addresses cycle
+	// between empty and occupied throughout a run.
+	entryPool mem.Pool[entry]
 }
 
 type entry struct {
@@ -26,10 +41,19 @@ func NewIndex() *Index {
 func (ix *Index) get(addr uint64) *entry {
 	e := ix.m[addr]
 	if e == nil {
-		e = &entry{}
+		e = ix.entryPool.Get()
 		ix.m[addr] = e
 	}
 	return e
+}
+
+// release returns a drained entry to the pool, keeping its slice capacity
+// for the next address that heats up.
+func (ix *Index) release(addr uint64, e *entry) {
+	e.readers = e.readers[:0]
+	e.writers = e.writers[:0]
+	delete(ix.m, addr)
+	ix.entryPool.Put(e)
 }
 
 // OnRead registers a speculative read.
@@ -123,7 +147,7 @@ func (ix *Index) Remove(t *task.Task) {
 		if e := ix.m[a]; e != nil {
 			e.readers = removeTask(e.readers, t)
 			if len(e.readers) == 0 && len(e.writers) == 0 {
-				delete(ix.m, a)
+				ix.release(a, e)
 			}
 		}
 	}
@@ -131,7 +155,7 @@ func (ix *Index) Remove(t *task.Task) {
 		if e := ix.m[a]; e != nil {
 			e.writers = removeTask(e.writers, t)
 			if len(e.readers) == 0 && len(e.writers) == 0 {
-				delete(ix.m, a)
+				ix.release(a, e)
 			}
 		}
 	}
@@ -153,10 +177,18 @@ func removeTask(ts []*task.Task, t *task.Task) []*task.Task {
 // wrote, every uncommitted later-order reader or writer of that address
 // (data-dependent tasks, Sec. II-B: "on an abort, Swarm aborts only
 // descendants and data-dependent tasks"). The seed itself is included.
+// The returned slice and the set queried by InLastAbortSet are reused
+// scratch, valid only until the next AbortSet call on this Index.
 func (ix *Index) AbortSet(seed *task.Task) []*task.Task {
-	inSet := map[*task.Task]bool{seed: true}
-	work := []*task.Task{seed}
-	var out []*task.Task
+	if ix.setScratch == nil {
+		ix.setScratch = make(map[*task.Task]bool)
+	} else {
+		clear(ix.setScratch)
+	}
+	inSet := ix.setScratch
+	inSet[seed] = true
+	work := append(ix.workScratch[:0], seed)
+	out := ix.outScratch[:0]
 	for len(work) > 0 {
 		t := work[len(work)-1]
 		work = work[:len(work)-1]
@@ -179,5 +211,14 @@ func (ix *Index) AbortSet(seed *task.Task) []*task.Task {
 			}
 		}
 	}
+	ix.workScratch, ix.outScratch = work[:0], out
 	return out
+}
+
+// InLastAbortSet reports whether t was in the set computed by the most
+// recent AbortSet call. The engine uses it to distinguish squashed
+// descendants (parent also aborting) from data-dependent retries without
+// rebuilding its own membership map.
+func (ix *Index) InLastAbortSet(t *task.Task) bool {
+	return ix.setScratch[t]
 }

@@ -10,8 +10,10 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
 
 	"swarmhints/internal/bench"
+	"swarmhints/internal/runner"
 	"swarmhints/swarm"
 )
 
@@ -22,6 +24,11 @@ type Options struct {
 	Cores    []int // sweep; nil = default for scale
 	MaxCores int   // single-point experiments; 0 = max of sweep
 	Validate bool  // validate each run against the serial reference
+	// Parallel bounds the worker goroutines used to execute independent
+	// simulation runs concurrently (0 = GOMAXPROCS). Every run is an
+	// isolated, deterministic engine, so results — and therefore every
+	// figure and table — are byte-identical for any Parallel value.
+	Parallel int
 }
 
 // DefaultOptions returns the standard configuration for a scale.
@@ -46,9 +53,12 @@ func (o Options) maxCores() int {
 }
 
 // Runner executes experiments and caches per-configuration results so
-// multi-figure invocations don't repeat runs.
+// multi-figure invocations don't repeat runs. The cache is guarded by a
+// mutex so Prime can fill it from the parallel sweep runner's worker pool.
 type Runner struct {
-	opt   Options
+	opt Options
+
+	mu    sync.Mutex
 	cache map[string]*swarm.Stats
 }
 
@@ -57,32 +67,120 @@ func NewRunner(opt Options) *Runner {
 	return &Runner{opt: opt, cache: make(map[string]*swarm.Stats)}
 }
 
+// Point identifies one simulation configuration: a benchmark run under a
+// scheduler at a core count, optionally with access profiling.
+type Point struct {
+	Name    string
+	Kind    swarm.SchedKind
+	Cores   int
+	Profile bool
+}
+
+func (p Point) key() string {
+	return fmt.Sprintf("%s/%v/%d/%v", p.Name, p.Kind, p.Cores, p.Profile)
+}
+
 // Run executes one (benchmark, scheduler, cores) point, with optional
 // access profiling, validating against the serial reference when enabled.
 func (r *Runner) Run(name string, kind swarm.SchedKind, cores int, profile bool) (*swarm.Stats, error) {
-	key := fmt.Sprintf("%s/%v/%d/%v", name, kind, cores, profile)
-	if st, ok := r.cache[key]; ok {
+	p := Point{Name: name, Kind: kind, Cores: cores, Profile: profile}
+	key := p.key()
+	r.mu.Lock()
+	st, ok := r.cache[key]
+	r.mu.Unlock()
+	if ok {
 		return st, nil
 	}
-	inst, err := bench.Build(name, r.opt.Scale, r.opt.Seed)
+	st, err := r.runPoint(p)
 	if err != nil {
 		return nil, err
 	}
-	cfg := swarm.ScaledConfig().WithCores(cores)
-	cfg.Scheduler = kind
-	cfg.Profile = profile
+	r.mu.Lock()
+	r.cache[key] = st
+	r.mu.Unlock()
+	return st, nil
+}
+
+// runPoint executes one configuration without touching the cache. It uses
+// the harness seed for the workload regardless of who calls it — the paper
+// methodology holds the input fixed across every configuration — which is
+// also what makes parallel and sequential executions byte-identical.
+func (r *Runner) runPoint(p Point) (*swarm.Stats, error) {
+	inst, err := bench.Build(p.Name, r.opt.Scale, r.opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := swarm.ScaledConfig().WithCores(p.Cores)
+	cfg.Scheduler = p.Kind
+	cfg.Profile = p.Profile
 	cfg.MaxCycles = 20_000_000_000
 	st, err := inst.Prog.Run(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("%s under %v at %d cores: %w", name, kind, cores, err)
+		return nil, fmt.Errorf("%s under %v at %d cores: %w", p.Name, p.Kind, p.Cores, err)
 	}
 	if r.opt.Validate {
 		if err := inst.Validate(); err != nil {
-			return nil, fmt.Errorf("%s under %v at %d cores failed validation: %w", name, kind, cores, err)
+			return nil, fmt.Errorf("%s under %v at %d cores failed validation: %w", p.Name, p.Kind, p.Cores, err)
 		}
 	}
-	r.cache[key] = st
 	return st, nil
+}
+
+// Prime executes every not-yet-cached point concurrently through the sweep
+// runner and fills the cache with the results. Each experiment calls it
+// with its full configuration grid up front, so the subsequent formatting
+// loops hit the cache and only the independent simulations fan out across
+// host cores. Duplicated points are run once; the first failure (by grid
+// order, so deterministically) is returned.
+func (r *Runner) Prime(points []Point) error {
+	seen := make(map[string]bool, len(points))
+	var todo []Point
+	r.mu.Lock()
+	for _, p := range points {
+		key := p.key()
+		if seen[key] || r.cache[key] != nil {
+			continue
+		}
+		seen[key] = true
+		todo = append(todo, p)
+	}
+	r.mu.Unlock()
+	if len(todo) == 0 {
+		return nil
+	}
+	jobs := make([]runner.Job, len(todo))
+	for i, p := range todo {
+		p := p
+		jobs[i] = runner.Job{
+			Name: p.key(),
+			// The derived sweep seed is ignored: experiment points fix the
+			// workload seed (see runPoint), so priming changes when runs
+			// happen, never what they compute.
+			Run: func(int64) (*swarm.Stats, error) { return r.runPoint(p) },
+		}
+	}
+	results := runner.Sweep(jobs, runner.Options{Parallel: r.opt.Parallel, Seed: r.opt.Seed})
+	r.mu.Lock()
+	for i, res := range results {
+		if res.Err == nil && res.Stats != nil {
+			r.cache[todo[i].key()] = res.Stats
+		}
+	}
+	r.mu.Unlock()
+	return runner.FirstErr(results)
+}
+
+// PrimeGrid is Prime over the cross product names × kinds × cores.
+func (r *Runner) PrimeGrid(names []string, kinds []swarm.SchedKind, cores []int, profile bool) error {
+	var points []Point
+	for _, n := range names {
+		for _, k := range kinds {
+			for _, c := range cores {
+				points = append(points, Point{Name: n, Kind: k, Cores: c, Profile: profile})
+			}
+		}
+	}
+	return r.Prime(points)
 }
 
 // Speedup returns cycles(1 core) / cycles(cores) for a benchmark/scheduler.

@@ -154,3 +154,55 @@ func TestValidationCatchesRuns(t *testing.T) {
 		t.Fatal("unknown benchmark must error")
 	}
 }
+
+// TestParallelMatchesSequential is the harness-level determinism contract:
+// priming the grid through the parallel sweep runner must produce the exact
+// bytes the sequential path produces, for every experiment that exercises
+// both cached and bespoke (AblSerial) runs.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, id := range []string{"fig2", "ablserial"} {
+		e, err := Find(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var outputs []string
+		for _, parallel := range []int{1, 8} {
+			o := DefaultOptions(bench.Tiny)
+			o.Cores = []int{1, 4}
+			o.Parallel = parallel
+			var buf bytes.Buffer
+			if err := e.Run(NewRunner(o), &buf); err != nil {
+				t.Fatalf("%s with Parallel=%d: %v", id, parallel, err)
+			}
+			outputs = append(outputs, buf.String())
+		}
+		if outputs[0] != outputs[1] {
+			t.Errorf("%s: Parallel=1 and Parallel=8 outputs differ:\n--- p1\n%s\n--- p8\n%s", id, outputs[0], outputs[1])
+		}
+	}
+}
+
+// TestPrimeFailureIsDeterministic checks a failing grid point surfaces the
+// lowest-index error regardless of worker count.
+func TestPrimeFailureIsDeterministic(t *testing.T) {
+	var msgs []string
+	for _, parallel := range []int{1, 4} {
+		o := DefaultOptions(bench.Tiny)
+		o.Parallel = parallel
+		r := NewRunner(o)
+		err := r.Prime([]Point{
+			{Name: "no-such-bench", Kind: swarm.Hints, Cores: 4},
+			{Name: "also-missing", Kind: swarm.Hints, Cores: 4},
+		})
+		if err == nil {
+			t.Fatal("Prime of unknown benchmarks must fail")
+		}
+		msgs = append(msgs, err.Error())
+	}
+	if msgs[0] != msgs[1] {
+		t.Errorf("error differs across parallelism: %q vs %q", msgs[0], msgs[1])
+	}
+	if !strings.Contains(msgs[0], "no-such-bench") {
+		t.Errorf("error should name the first failing point, got %q", msgs[0])
+	}
+}

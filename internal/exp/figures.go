@@ -5,15 +5,27 @@ import (
 	"io"
 
 	"swarmhints/internal/bench"
+	"swarmhints/internal/runner"
 	"swarmhints/swarm"
 )
 
 var rshKinds = []swarm.SchedKind{swarm.Random, swarm.Stealing, swarm.Hints}
 var rshlKinds = []swarm.SchedKind{swarm.Random, swarm.Stealing, swarm.Hints, swarm.LBHints}
 
+// plusCores returns the core sweep with extra single points appended;
+// Prime deduplicates, so overlap is harmless.
+func plusCores(base []int, extra ...int) []int {
+	out := make([]int, 0, len(base)+len(extra))
+	out = append(out, base...)
+	return append(out, extra...)
+}
+
 // Table1 reproduces Table I: per-benchmark 1-core run-time, committed
 // tasks, task-function count, and hint pattern.
 func Table1(r *Runner, w io.Writer) error {
+	if err := r.PrimeGrid(bench.Names(), []swarm.SchedKind{swarm.Random}, []int{1}, false); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "%-8s %14s %10s %6s  %s\n", "bench", "1c cycles", "tasks", "funcs", "hint pattern")
 	for _, name := range bench.Names() {
 		inst, err := bench.Build(name, r.opt.Scale, r.opt.Seed)
@@ -33,6 +45,9 @@ func Table1(r *Runner, w io.Writer) error {
 // Fig2 reproduces Fig. 2: des speedups for all four schedulers across the
 // core sweep (a) and the cycle breakdown at max cores relative to Random (b).
 func Fig2(r *Runner, w io.Writer) error {
+	if err := r.PrimeGrid([]string{"des"}, rshlKinds, plusCores(r.opt.Cores, 1, r.opt.maxCores()), false); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "(a) des speedup over 1-core\n%8s", "cores")
 	for _, k := range rshlKinds {
 		fmt.Fprintf(w, " %10v", k)
@@ -69,6 +84,17 @@ func Fig2(r *Runner, w io.Writer) error {
 // classificationRows prints the Fig. 3/6 stacked-bar data for a benchmark
 // list, normalized to a baseline's total accesses (itself for Fig. 3).
 func classificationRows(r *Runner, w io.Writer, names []string, normTo map[string]string) error {
+	// Baselines appended in names order (not map order) so the prime grid —
+	// and with it which failure FirstErr reports — is deterministic.
+	all := append([]string{}, names...)
+	for _, n := range names {
+		if base, ok := normTo[n]; ok {
+			all = append(all, base)
+		}
+	}
+	if err := r.PrimeGrid(all, []swarm.SchedKind{swarm.Hints}, []int{4}, true); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "%-9s %9s %9s %9s %9s %9s %7s\n",
 		"bench", "multiRO", "singleRO", "multiRW", "singleRW", "args", "height")
 	for _, name := range names {
@@ -100,6 +126,9 @@ func Fig3(r *Runner, w io.Writer) error {
 // Fig4 reproduces Fig. 4: Random/Stealing/Hints speedups for all nine
 // benchmarks across the core sweep.
 func Fig4(r *Runner, w io.Writer) error {
+	if err := r.PrimeGrid(bench.Names(), rshKinds, plusCores(r.opt.Cores, 1), false); err != nil {
+		return err
+	}
 	for _, name := range bench.Names() {
 		fmt.Fprintf(w, "%s\n%8s", name, "cores")
 		for _, k := range rshKinds {
@@ -129,6 +158,17 @@ func Fig5(r *Runner, w io.Writer) error {
 
 func breakdownFigure(r *Runner, w io.Writer, names []string, kinds []swarm.SchedKind, normTo map[string]string) error {
 	mc := r.opt.maxCores()
+	// Baselines appended in names order (not map order) so the prime grid —
+	// and with it which failure FirstErr reports — is deterministic.
+	all := append([]string{}, names...)
+	for _, n := range names {
+		if base, ok := normTo[n]; ok {
+			all = append(all, base)
+		}
+	}
+	if err := r.PrimeGrid(all, append([]swarm.SchedKind{swarm.Random}, kinds...), []int{mc}, false); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "(a) cycle breakdowns at %d cores (relative to Random)\n", mc)
 	for _, name := range names {
 		refName := name
@@ -185,6 +225,13 @@ func Fig6(r *Runner, w io.Writer) error {
 // Fig7 reproduces Fig. 7: FG and CG speedups under the three schedulers,
 // relative to the CG version at 1 core.
 func Fig7(r *Runner, w io.Writer) error {
+	var names []string
+	for _, n := range bench.FGNames() {
+		names = append(names, n, n+"-fg")
+	}
+	if err := r.PrimeGrid(names, rshKinds, plusCores(r.opt.Cores, 1), false); err != nil {
+		return err
+	}
 	for _, name := range bench.FGNames() {
 		fmt.Fprintf(w, "%s\n%8s", name, "cores")
 		for _, variant := range []string{"", "-fg"} {
@@ -256,6 +303,34 @@ func (r *Runner) bestVariant(name string, k swarm.SchedKind) (string, error) {
 // Fig10 reproduces Fig. 10: all four schedulers on all nine benchmarks,
 // using the best-performing grain per scheme.
 func Fig10(r *Runner, w io.Writer) error {
+	// Phase 1: the max-core probes bestVariant compares, plus baselines.
+	probeNames := append([]string{}, bench.Names()...)
+	for _, n := range bench.FGNames() {
+		probeNames = append(probeNames, n+"-fg")
+	}
+	if err := r.PrimeGrid(probeNames, rshlKinds, []int{r.opt.maxCores()}, false); err != nil {
+		return err
+	}
+	if err := r.PrimeGrid(bench.Names(), []swarm.SchedKind{swarm.Random}, []int{1}, false); err != nil {
+		return err
+	}
+	// Phase 2: now that the winning grain per (benchmark, scheme) is known,
+	// prime exactly the sweep points the table below will format.
+	var points []Point
+	for _, name := range bench.Names() {
+		for _, k := range rshlKinds {
+			variant, err := r.bestVariant(name, k)
+			if err != nil {
+				return err
+			}
+			for _, cores := range r.opt.Cores {
+				points = append(points, Point{Name: variant, Kind: k, Cores: cores})
+			}
+		}
+	}
+	if err := r.Prime(points); err != nil {
+		return err
+	}
 	for _, name := range bench.Names() {
 		fmt.Fprintf(w, "%s\n%8s", name, "cores")
 		for _, k := range rshlKinds {
@@ -289,6 +364,9 @@ func Fig10(r *Runner, w io.Writer) error {
 // under all four schedulers at max cores.
 func Fig11(r *Runner, w io.Writer) error {
 	mc := r.opt.maxCores()
+	if err := r.PrimeGrid([]string{"des", "nocsim", "silo", "kmeans"}, rshlKinds, []int{mc}, false); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "cycle breakdowns at %d cores (relative to Random)\n", mc)
 	for _, name := range []string{"des", "nocsim", "silo", "kmeans"} {
 		ref, err := r.Run(name, swarm.Random, mc, false)
@@ -311,6 +389,16 @@ func Fig11(r *Runner, w io.Writer) error {
 // (LBHints) versus balancing idle-task counts (the worse proxy).
 func LBProxy(r *Runner, w io.Writer) error {
 	mc := r.opt.maxCores()
+	var points []Point
+	for _, name := range []string{"des", "nocsim", "silo", "kmeans"} {
+		points = append(points, Point{Name: name, Kind: swarm.Random, Cores: 1})
+		for _, k := range []swarm.SchedKind{swarm.Hints, swarm.LBHints, swarm.LBIdleProxy} {
+			points = append(points, Point{Name: name, Kind: k, Cores: mc})
+		}
+	}
+	if err := r.Prime(points); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "%-9s %12s %12s %12s  %s\n", "bench", "Hints", "LBHints", "LBIdleTasks", "best-signal")
 	for _, name := range []string{"des", "nocsim", "silo", "kmeans"} {
 		h, err := r.Speedup(name, swarm.Hints, mc)
@@ -341,29 +429,49 @@ func LBProxy(r *Runner, w io.Writer) error {
 // benchmarks.
 func AblSerial(r *Runner, w io.Writer) error {
 	mc := r.opt.maxCores()
+	names := []string{"des", "silo", "kmeans", "genome"}
+	if err := r.PrimeGrid(names, []swarm.SchedKind{swarm.Hints}, []int{mc}, false); err != nil {
+		return err
+	}
+	// The serialization-disabled runs bypass the cache (they are not a
+	// Point configuration), so sweep them directly through the runner.
+	jobs := make([]runner.Job, len(names))
+	for i, name := range names {
+		name := name
+		jobs[i] = runner.Job{
+			Name: name + "/noser",
+			Run: func(int64) (*swarm.Stats, error) {
+				inst, err := bench.Build(name, r.opt.Scale, r.opt.Seed)
+				if err != nil {
+					return nil, err
+				}
+				cfg := swarm.ScaledConfig().WithCores(mc)
+				cfg.Scheduler = swarm.Hints
+				cfg.DisableSerialization = true
+				st, err := inst.Prog.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				if r.opt.Validate {
+					if err := inst.Validate(); err != nil {
+						return nil, fmt.Errorf("%s without serialization failed validation: %w", name, err)
+					}
+				}
+				return st, nil
+			},
+		}
+	}
+	results := runner.Sweep(jobs, runner.Options{Parallel: r.opt.Parallel, Seed: r.opt.Seed})
+	if err := runner.FirstErr(results); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "%-9s %14s %14s %12s %12s\n", "bench", "Hints cycles", "NoSer cycles", "Hints aborts", "NoSer aborts")
-	for _, name := range []string{"des", "silo", "kmeans", "genome"} {
+	for i, name := range names {
 		h, err := r.Run(name, swarm.Hints, mc, false)
 		if err != nil {
 			return err
 		}
-		// A bespoke non-cached run with serialization disabled.
-		inst, err := bench.Build(name, r.opt.Scale, r.opt.Seed)
-		if err != nil {
-			return err
-		}
-		cfg := swarm.ScaledConfig().WithCores(mc)
-		cfg.Scheduler = swarm.Hints
-		cfg.DisableSerialization = true
-		ns, err := inst.Prog.Run(cfg)
-		if err != nil {
-			return err
-		}
-		if r.opt.Validate {
-			if err := inst.Validate(); err != nil {
-				return fmt.Errorf("%s without serialization failed validation: %w", name, err)
-			}
-		}
+		ns := results[i].Stats
 		fmt.Fprintf(w, "%-9s %14d %14d %12d %12d\n",
 			name, h.Cycles, ns.Cycles, h.AbortedAttempts, ns.AbortedAttempts)
 	}
@@ -375,6 +483,28 @@ func AblSerial(r *Runner, w io.Writer) error {
 // traffic reduction factors from the abstract.
 func Summary(r *Runner, w io.Writer) error {
 	mc := r.opt.maxCores()
+	// Probe grains at max cores, then prime the baselines the speedups use.
+	var fgNames []string
+	for _, n := range bench.FGNames() {
+		fgNames = append(fgNames, n+"-fg")
+	}
+	var points []Point
+	for _, n := range bench.Names() {
+		points = append(points,
+			Point{Name: n, Kind: swarm.Random, Cores: 1},
+			Point{Name: n, Kind: swarm.Random, Cores: mc},
+			Point{Name: n, Kind: swarm.Hints, Cores: mc},
+			Point{Name: n, Kind: swarm.LBHints, Cores: mc})
+	}
+	for _, n := range fgNames {
+		points = append(points,
+			Point{Name: n, Kind: swarm.Random, Cores: 1},
+			Point{Name: n, Kind: swarm.Hints, Cores: mc},
+			Point{Name: n, Kind: swarm.LBHints, Cores: mc})
+	}
+	if err := r.Prime(points); err != nil {
+		return err
+	}
 	var sR, sH, sHF, sLB []float64
 	var abortR, abortH, trafR, trafH float64
 	for _, name := range bench.Names() {

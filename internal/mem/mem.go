@@ -132,7 +132,15 @@ func (l *UndoLog) Reset() { l.entries = l.entries[:0] }
 // writes by different tasks unwind to the exact pre-speculation values; this
 // function merges and sorts the logs and applies them.
 func Rollback(m *Memory, logs []*UndoLog) {
-	var all []UndoEntry
+	RollbackInto(m, logs, nil)
+}
+
+// RollbackInto is Rollback with a caller-owned merge buffer: it reuses
+// scratch's capacity for the merged log and returns the (possibly grown)
+// buffer so a long-lived caller — the engine's abort path — can amortize
+// the allocation across aborts.
+func RollbackInto(m *Memory, logs []*UndoLog, scratch []UndoEntry) []UndoEntry {
+	all := scratch[:0]
 	for _, l := range logs {
 		all = append(all, l.entries...)
 	}
@@ -145,6 +153,33 @@ func Rollback(m *Memory, logs []*UndoLog) {
 	for _, l := range logs {
 		l.Reset()
 	}
+	return all
+}
+
+// Pool is a tiny LIFO free list for recycling heap objects on simulation
+// hot paths. It is not safe for concurrent use: each engine owns its pools,
+// which keeps parallel sweep runs free of shared state.
+type Pool[T any] struct {
+	free []*T
+}
+
+// Get returns a recycled object or a freshly allocated zero value. Objects
+// come back exactly as they were Put; callers reset the fields they use
+// (and typically want to keep slice capacity).
+func (p *Pool[T]) Get() *T {
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return t
+	}
+	return new(T)
+}
+
+// Put returns an object to the free list. The caller must guarantee no
+// other live reference to it remains.
+func (p *Pool[T]) Put(t *T) {
+	p.free = append(p.free, t)
 }
 
 func sortUndoDesc(a []UndoEntry) {

@@ -1,0 +1,183 @@
+package runner
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"swarmhints/internal/bench"
+	"swarmhints/swarm"
+)
+
+// TestSweepOrderedAggregation checks that results land at their job's index
+// with the job's derived seed, regardless of completion order.
+func TestSweepOrderedAggregation(t *testing.T) {
+	const n = 32
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Name: "job",
+			Run: func(seed int64) (*swarm.Stats, error) {
+				// Encode identity in the stats so aggregation order is
+				// observable.
+				return &swarm.Stats{Cycles: uint64(i), Cores: int(seed % 1000)}, nil
+			},
+		}
+	}
+	results := Sweep(jobs, Options{Parallel: 4, Seed: 99})
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, res := range results {
+		if res.Index != i {
+			t.Errorf("result %d has Index %d", i, res.Index)
+		}
+		if res.Err != nil {
+			t.Errorf("result %d: unexpected error %v", i, res.Err)
+		}
+		if res.Stats.Cycles != uint64(i) {
+			t.Errorf("result %d carries stats of job %d", i, res.Stats.Cycles)
+		}
+		if res.Seed != DeriveSeed(99, i) {
+			t.Errorf("result %d has seed %d, want DeriveSeed(99,%d)=%d", i, res.Seed, i, DeriveSeed(99, i))
+		}
+	}
+}
+
+// sweepJobs builds a real-simulation sweep: bfs at Tiny scale across core
+// counts, each run built from the runner's derived seed so per-run seeding
+// itself is under test.
+func sweepJobs(t *testing.T) []Job {
+	t.Helper()
+	coreSweep := []int{1, 4, 16, 4, 1} // duplicates: distinct derived seeds must differ
+	jobs := make([]Job, len(coreSweep))
+	for i, cores := range coreSweep {
+		cores := cores
+		jobs[i] = Job{
+			Name: "bfs",
+			Run: func(seed int64) (*swarm.Stats, error) {
+				inst, err := bench.Build("bfs", bench.Tiny, seed)
+				if err != nil {
+					return nil, err
+				}
+				cfg := swarm.ScaledConfig().WithCores(cores)
+				cfg.Scheduler = swarm.Hints
+				st, err := inst.Prog.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				if err := inst.Validate(); err != nil {
+					return nil, err
+				}
+				return st, nil
+			},
+		}
+	}
+	return jobs
+}
+
+// TestSweepDeterministicAcrossParallelism is the core contract: the same
+// sweep seed produces identical aggregated statistics for every worker
+// count, because seeds derive from run indices and runs share no state.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	jobs := sweepJobs(t)
+	var baseline []Result
+	for _, parallel := range []int{1, 2, 8, 0} {
+		results := Sweep(jobs, Options{Parallel: parallel, Seed: 7})
+		if err := FirstErr(results); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		if baseline == nil {
+			baseline = results
+			continue
+		}
+		if !reflect.DeepEqual(results, baseline) {
+			t.Errorf("parallel=%d: results differ from parallel=1 baseline", parallel)
+		}
+	}
+	// Same config, different run index ⇒ different derived seed, so
+	// duplicate sweep points are genuine replicas, not clones.
+	if baseline[0].Seed == baseline[4].Seed {
+		t.Error("duplicate sweep points received identical seeds")
+	}
+}
+
+// TestSweepSeedSensitivity checks a different sweep seed actually changes
+// the derived per-run seeds (and with them the workloads).
+func TestSweepSeedSensitivity(t *testing.T) {
+	jobs := sweepJobs(t)[:2]
+	a := Sweep(jobs, Options{Parallel: 2, Seed: 7})
+	b := Sweep(jobs, Options{Parallel: 2, Seed: 8})
+	if a[0].Seed == b[0].Seed {
+		t.Errorf("sweep seeds 7 and 8 derived the same run seed %d", a[0].Seed)
+	}
+}
+
+// TestSweepPanicIsolation checks that a panicking job surfaces as an error
+// with a stack trace while every other job still completes.
+func TestSweepPanicIsolation(t *testing.T) {
+	ok := func(seed int64) (*swarm.Stats, error) { return &swarm.Stats{Cycles: 1}, nil }
+	jobs := []Job{
+		{Name: "good-0", Run: ok},
+		{Name: "boom", Run: func(int64) (*swarm.Stats, error) { panic("kaboom") }},
+		{Name: "good-2", Run: ok},
+		{Name: "fails", Run: func(int64) (*swarm.Stats, error) { return nil, errors.New("plain failure") }},
+	}
+	results := Sweep(jobs, Options{Parallel: 2, Seed: 1})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy jobs failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil || results[1].Stats != nil {
+		t.Fatalf("panicking job did not error: %+v", results[1])
+	}
+	if msg := results[1].Err.Error(); !strings.Contains(msg, "kaboom") || !strings.Contains(msg, "boom") {
+		t.Errorf("panic error lacks context: %q", msg)
+	}
+	if err := FirstErr(results); err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("FirstErr should surface job 1's panic, got %v", err)
+	}
+}
+
+// TestSweepOnResult checks the completion callback fires once per job.
+func TestSweepOnResult(t *testing.T) {
+	jobs := sweepJobs(t)[:3]
+	seen := make(map[int]int)
+	results := Sweep(jobs, Options{Parallel: 3, Seed: 7, OnResult: func(r Result) {
+		seen[r.Index]++ // serialized by the runner; no lock needed here
+	}})
+	if err := FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if seen[i] != 1 {
+			t.Errorf("OnResult fired %d times for job %d, want 1", seen[i], i)
+		}
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	if got := Sweep(nil, Options{Parallel: 4}); len(got) != 0 {
+		t.Fatalf("Sweep(nil) returned %d results", len(got))
+	}
+}
+
+// TestDeriveSeed pins the derivation: pure, index-sensitive, sweep-seed
+// sensitive. A change here silently reshuffles every recorded sweep.
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(7, 0) != DeriveSeed(7, 0) {
+		t.Error("DeriveSeed is not pure")
+	}
+	seen := make(map[int64]int)
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(7, i)
+		if j, dup := seen[s]; dup {
+			t.Fatalf("indices %d and %d collide on seed %d", j, i, s)
+		}
+		seen[s] = i
+	}
+	if DeriveSeed(7, 3) == DeriveSeed(8, 3) {
+		t.Error("sweep seed does not influence derived seed")
+	}
+}

@@ -32,51 +32,66 @@ type event struct {
 	gen  uint64 // core generation for stale-completion detection
 }
 
-type eventHeap []event
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// before is the event order: time, then schedule sequence. (time, seq) pairs
+// are unique, so heap restructuring can never reorder equal keys and the
+// event stream is fully deterministic.
+func (e event) before(f event) bool {
+	if e.time != f.time {
+		return e.time < f.time
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < f.seq
 }
 
+// eventHeap is a min-heap of pending events. The sift loops move the
+// displaced event through a hole — one 40-byte copy per level instead of a
+// swap's two — with the (time, seq) comparison flattened inline; this heap
+// is popped once per simulated wake-up, making it one of the hottest
+// structures in the engine.
+type eventHeap []event
+
 func (h *eventHeap) push(e event) {
-	*h = append(*h, e)
-	i := len(*h) - 1
+	hs := append(*h, e)
+	*h = hs
+	i := len(hs) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if !h.less(i, p) {
+		if !e.before(hs[p]) {
 			break
 		}
-		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		hs[i] = hs[p]
 		i = p
 	}
+	hs[i] = e
 }
 
 func (h *eventHeap) pop() event {
-	old := *h
-	e := old[0]
-	last := len(old) - 1
-	old[0] = old[last]
-	*h = old[:last]
-	i, n := 0, last
+	hs := *h
+	top := hs[0]
+	last := len(hs) - 1
+	e := hs[last]
+	hs = hs[:last]
+	*h = hs
+	if last == 0 {
+		return top
+	}
+	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		s := i
-		if l < n && h.less(l, s) {
-			s = l
-		}
-		if r < n && h.less(r, s) {
-			s = r
-		}
-		if s == i {
+		l := 2*i + 1
+		if l >= last {
 			break
 		}
-		(*h)[i], (*h)[s] = (*h)[s], (*h)[i]
+		s := l
+		if r := l + 1; r < last && hs[r].before(hs[l]) {
+			s = r
+		}
+		if !hs[s].before(e) {
+			break
+		}
+		hs[i] = hs[s]
 		i = s
 	}
-	return e
+	hs[i] = e
+	return top
 }
 
 type coreState struct {
@@ -111,6 +126,25 @@ type Engine struct {
 
 	stats Stats
 	prof  *profiler
+
+	// Hot-path object recycling and scratch buffers. All per-engine, so
+	// concurrent engines in a parallel sweep share no state.
+	pool    task.Pool    // recycles descriptors of committed tasks
+	retired []*task.Task // committed this GVT round, recycled at round end
+	ctxs    []Ctx        // per-core task contexts, reused across dispatches
+
+	gvtMins    []task.Order   // per-tile minima, reused across GVT rounds
+	gvtRunning [][]*task.Task // per-tile running tasks, reused across rounds
+
+	runScratch  []runHint       // pickCandidate's running-task snapshot
+	logScratch  []*mem.UndoLog  // abort's undo-log collection
+	undoScratch []mem.UndoEntry // abort's merged-rollback buffer
+}
+
+// runHint is pickCandidate's snapshot of one running hinted task.
+type runHint struct {
+	hash uint16
+	ord  task.Order
 }
 
 // Run executes the program's roots to completion under cfg and returns the
@@ -145,6 +179,9 @@ func newEngine(p *Program, cfg Config) *Engine {
 	for c := range e.cores {
 		e.cores[c].tile = c / cfg.CoresPerTile
 	}
+	e.ctxs = make([]Ctx, len(e.cores))
+	e.gvtMins = make([]task.Order, tiles)
+	e.gvtRunning = make([][]*task.Task, tiles)
 	if cfg.Profile {
 		e.prof = newProfiler()
 	}
@@ -269,8 +306,11 @@ func (e *Engine) handle(ev event) {
 // task that precedes it commits.
 func (e *Engine) gvtRound() {
 	tiles := len(e.queues)
-	mins := make([]task.Order, tiles)
-	runningOf := make([][]*task.Task, tiles)
+	mins := e.gvtMins
+	runningOf := e.gvtRunning
+	for i := range runningOf {
+		runningOf[i] = runningOf[i][:0]
+	}
 	for c := range e.cores {
 		if t := e.cores[c].running; t != nil {
 			runningOf[e.cores[c].tile] = append(runningOf[e.cores[c].tile], t)
@@ -306,6 +346,8 @@ func (e *Engine) gvtRound() {
 			e.refill(tile)
 		}
 	}
+
+	e.releaseRetired()
 }
 
 func (e *Engine) commit(t *task.Task) {
@@ -318,7 +360,33 @@ func (e *Engine) commit(t *task.Task) {
 	if e.prof != nil {
 		e.prof.onCommit(t.Reads, t.Writes, t.Hint, t.HasHint(), t.ID, len(t.Args))
 	}
-	t.Children = nil // descendants can no longer abort through us
+	// Recycling is deferred to the end of the GVT round: a child on another
+	// tile may commit later in this same round while still holding its
+	// Parent pointer at us.
+	e.retired = append(e.retired, t)
+}
+
+// releaseRetired recycles every task committed during the GVT round that
+// just finished. A task becomes unreachable only once no child's Parent
+// pointer targets it; since a parent always precedes its children in
+// speculative order, a parent commits in the same round as its children or
+// earlier, so clearing Parent pointers for the whole round's commits before
+// recycling any of them is sufficient — after this, nothing in the engine
+// references a retired descriptor.
+func (e *Engine) releaseRetired() {
+	for _, t := range e.retired {
+		for _, c := range t.Children {
+			if c.Parent == t {
+				c.Parent = nil // c may itself be retired, squashed, or live
+			}
+		}
+		t.Children = t.Children[:0]
+	}
+	for i, t := range e.retired {
+		e.pool.Put(t)
+		e.retired[i] = nil
+	}
+	e.retired = e.retired[:0]
 }
 
 // enqueue creates a task, maps it to a tile, and inserts it, spilling to
@@ -328,7 +396,7 @@ func (e *Engine) enqueue(parent *task.Task, fromTile int, fn task.FnID, ts uint6
 		ts = parent.TS // children may not precede their parent (Sec. II-A)
 	}
 	e.nextID++
-	t := task.NewTask(e.nextID, fn, ts, kind, hint, parent, args...)
+	t := e.pool.Get(e.nextID, fn, ts, kind, hint, parent, args)
 	if parent != nil {
 		parent.Children = append(parent.Children, t)
 	}
@@ -450,17 +518,14 @@ func (e *Engine) pickCandidate(tile int) *task.Task {
 	if !e.schd.SerializeSameHint() || e.cfg.DisableSerialization {
 		return q.PeekEarliest()
 	}
-	type runInfo struct {
-		hash uint16
-		ord  task.Order
-	}
-	var running []runInfo
+	running := e.runScratch[:0]
 	base := tile * e.cfg.CoresPerTile
 	for c := 0; c < e.cfg.CoresPerTile; c++ {
 		if t := e.cores[base+c].running; t != nil && t.HasHint() {
-			running = append(running, runInfo{t.HintHash, t.Ord()})
+			running = append(running, runHint{t.HintHash, t.Ord()})
 		}
 	}
+	e.runScratch = running
 	var pick *task.Task
 	q.IdleInOrder(func(t *task.Task) bool {
 		if t.HasHint() {
@@ -524,9 +589,12 @@ func (e *Engine) execute(t *task.Task, coreID int) {
 	t.DispatchCycle = e.now
 	cs.running = t
 	cs.gen++
-	ctx := Ctx{e: e, t: t, core: coreID, tile: cs.tile,
+	// Reuse the core's context slot: a fresh &Ctx{} would escape to the
+	// heap on every dispatch through the dynamic task-function call.
+	ctx := &e.ctxs[coreID]
+	*ctx = Ctx{e: e, t: t, core: coreID, tile: cs.tile,
 		cycles: e.cfg.TaskOpCycles + e.cfg.BaseTaskCycles}
-	e.prog.fns[t.Fn](&ctx)
+	e.prog.fns[t.Fn](ctx)
 	ctx.cycles += e.cfg.TaskOpCycles // finish-task op
 	t.RunCycles = ctx.cycles
 	cs.busyUntil = e.now + ctx.cycles
@@ -542,15 +610,11 @@ func (e *Engine) abort(seed *task.Task) {
 		return // already resolved or never ran
 	}
 	set := e.index.AbortSet(seed)
-	inSet := make(map[*task.Task]bool, len(set))
-	for _, t := range set {
-		inSet[t] = true
-	}
 	seedTile := seed.Tile
-	var logs []*mem.UndoLog
+	logs := e.logScratch[:0]
 
 	for _, t := range set {
-		squash := t.Parent != nil && inSet[t.Parent]
+		squash := t.Parent != nil && e.index.InLastAbortSet(t.Parent)
 		q := e.queues[t.Tile]
 		if t != seed && t.Tile != seedTile {
 			e.mesh.Send(noc.MsgAbort, seedTile, t.Tile, 16)
@@ -605,7 +669,8 @@ func (e *Engine) abort(seed *task.Task) {
 			e.stats.SquashedTasks++
 		}
 	}
-	mem.Rollback(e.prog.Mem, logs)
+	e.undoScratch = mem.RollbackInto(e.prog.Mem, logs, e.undoScratch)[:0]
+	e.logScratch = logs[:0]
 }
 
 // rollbackTraffic charges the abort-class memory traffic of restoring a

@@ -109,10 +109,22 @@ func (t *Task) ResetAttempt() {
 	t.Children = t.Children[:0]
 }
 
-// NewTask builds a descriptor, resolving SAMEHINT against the parent and
-// precomputing the hashed hint.
-func NewTask(id uint64, fn FnID, ts uint64, kind HintKind, hint uint64, parent *Task, args ...uint64) *Task {
-	t := &Task{ID: id, Fn: fn, TS: ts, Args: args, HintKind: kind, Hint: hint, Parent: parent, heapIdx: -1}
+// init fills in a descriptor, resolving SAMEHINT against the parent and
+// precomputing the hashed hint. The receiver may be fresh or recycled; every
+// field is (re)set, with slice capacities reused.
+func (t *Task) init(id uint64, fn FnID, ts uint64, kind HintKind, hint uint64, parent *Task, args []uint64) {
+	t.ID, t.Fn, t.TS = id, fn, ts
+	t.Args = append(t.Args[:0], args...)
+	t.Hint, t.HintKind, t.HintHash = hint, kind, 0
+	t.Bucket = 0
+	t.State, t.Tile, t.Core = Idle, 0, 0
+	t.Parent = parent
+	t.Children = t.Children[:0]
+	t.Undo.Reset()
+	t.Reads, t.Writes = t.Reads[:0], t.Writes[:0]
+	t.RunCycles, t.Aborts = 0, 0
+	t.DispatchCycle = 0
+	t.heapIdx = -1
 	if kind == HintSame && parent != nil && parent.HintKind == HintInt {
 		// Inherit the parent's integer hint outright.
 		t.Hint = parent.Hint
@@ -123,7 +135,38 @@ func NewTask(id uint64, fn FnID, ts uint64, kind HintKind, hint uint64, parent *
 	if t.HintKind == HintInt {
 		t.HintHash = hashutil.HintHash16(t.Hint)
 	}
+}
+
+// NewTask builds a descriptor, resolving SAMEHINT against the parent and
+// precomputing the hashed hint.
+func NewTask(id uint64, fn FnID, ts uint64, kind HintKind, hint uint64, parent *Task, args ...uint64) *Task {
+	t := &Task{}
+	t.init(id, fn, ts, kind, hint, parent, args)
 	return t
+}
+
+// Pool recycles Task descriptors through a free list so the engine's
+// enqueue hot path stops allocating one Task (plus its Args/Reads/Writes/
+// undo-log slices) per created task. Not safe for concurrent use: each
+// engine owns one, keeping parallel sweep runs free of shared state.
+type Pool struct {
+	p mem.Pool[Task]
+}
+
+// Get returns an initialized descriptor, recycled when possible. The args
+// slice is copied into the descriptor's own (reused) backing array, so the
+// caller's slice does not escape.
+func (pl *Pool) Get(id uint64, fn FnID, ts uint64, kind HintKind, hint uint64, parent *Task, args []uint64) *Task {
+	t := pl.p.Get()
+	t.init(id, fn, ts, kind, hint, parent, args)
+	return t
+}
+
+// Put recycles a descriptor. The caller must guarantee nothing references
+// it anymore: the engine retires committed tasks only after the GVT round
+// that committed them has cleared every child's Parent pointer.
+func (pl *Pool) Put(t *Task) {
+	pl.p.Put(t)
 }
 
 // DescriptorBytes is the task descriptor size sent over the NoC: function
@@ -137,15 +180,25 @@ func DescriptorBytes(t *Task) int {
 	return n
 }
 
-// orderHeap is a min-heap of idle tasks by speculative order.
-type orderHeap []*Task
+// ordBefore is Ord().Before with the Order construction flattened out: the
+// heap sift loops below compare through it on every level, so it must stay
+// a leaf call that inlines to two integer compares.
+func (t *Task) ordBefore(u *Task) bool {
+	if t.TS != u.TS {
+		return t.TS < u.TS
+	}
+	return t.ID < u.ID
+}
 
-func (h orderHeap) less(i, j int) bool { return h[i].Ord().Before(h[j].Ord()) }
+// orderHeap is a min-heap of idle tasks by speculative order. The sift
+// loops move the displaced element through a hole instead of swapping at
+// every level: one slot write (plus one heapIdx write) per level rather
+// than two, with the comparisons flattened to inline integer compares.
+type orderHeap []*Task
 
 func (h *orderHeap) push(t *Task) {
 	*h = append(*h, t)
-	t.heapIdx = len(*h) - 1
-	h.up(t.heapIdx)
+	h.up(len(*h) - 1)
 }
 
 func (h *orderHeap) pop() *Task {
@@ -153,9 +206,10 @@ func (h *orderHeap) pop() *Task {
 	t := old[0]
 	last := len(old) - 1
 	old[0] = old[last]
-	old[0].heapIdx = 0
+	old[last] = nil
 	*h = old[:last]
 	if last > 0 {
+		old[0].heapIdx = 0
 		h.down(0)
 	}
 	t.heapIdx = -1
@@ -171,6 +225,7 @@ func (h *orderHeap) remove(t *Task) {
 	last := len(old) - 1
 	old[i] = old[last]
 	old[i].heapIdx = i
+	old[last] = nil
 	*h = old[:last]
 	if i < last {
 		h.down(i)
@@ -180,35 +235,42 @@ func (h *orderHeap) remove(t *Task) {
 }
 
 func (h orderHeap) up(i int) {
+	t := h[i]
 	for i > 0 {
 		p := (i - 1) / 2
-		if !h.less(i, p) {
+		if !t.ordBefore(h[p]) {
 			break
 		}
-		h[i], h[p] = h[p], h[i]
-		h[i].heapIdx, h[p].heapIdx = i, p
+		h[i] = h[p]
+		h[i].heapIdx = i
 		i = p
 	}
+	h[i] = t
+	t.heapIdx = i
 }
 
 func (h orderHeap) down(i int) {
 	n := len(h)
+	t := h[i]
 	for {
 		l, r := 2*i+1, 2*i+2
 		s := i
-		if l < n && h.less(l, s) {
-			s = l
+		top := t
+		if l < n && h[l].ordBefore(top) {
+			s, top = l, h[l]
 		}
-		if r < n && h.less(r, s) {
+		if r < n && h[r].ordBefore(top) {
 			s = r
 		}
 		if s == i {
-			return
+			break
 		}
-		h[i], h[s] = h[s], h[i]
-		h[i].heapIdx, h[s].heapIdx = i, s
+		h[i] = h[s]
+		h[i].heapIdx = i
 		i = s
 	}
+	h[i] = t
+	t.heapIdx = i
 }
 
 // Queue is one tile's task unit storage: every task physically resident on
@@ -222,6 +284,8 @@ type Queue struct {
 	resident    int // idle + running + finished tasks on this tile
 	commitUsed  int
 	spillBuffer []*Task // tasks spilled to memory, kept in order
+	walkScratch []*Task // reused by IdleInOrder's pop-and-restore walk
+	listScratch []*Task // reused for Spill/Refill result lists
 }
 
 // NewQueue builds a tile queue with the given task-queue and commit-queue
@@ -285,12 +349,13 @@ func (q *Queue) PeekEarliest() *Task {
 func (q *Queue) IdleInOrder(fn func(*Task) bool) {
 	// Small tiles have few idle tasks; copy+sort the heap view lazily by
 	// repeatedly scanning for successive minima among unvisited entries.
-	// For efficiency we pop into a scratch slice and push back.
-	var scratch []*Task
+	// For efficiency we pop into a reused scratch slice and push back.
+	scratch := q.walkScratch[:0]
 	defer func() {
 		for _, t := range scratch {
 			q.idle.push(t)
 		}
+		q.walkScratch = scratch
 	}()
 	for len(q.idle) > 0 {
 		t := q.idle.pop()
@@ -381,14 +446,15 @@ func (q *Queue) RemoveIdle(t *Task) {
 // Spill moves up to max idle tasks with the latest orders out to memory,
 // preferring tasks whose parent has committed or that have no live parent
 // (Sec. II-B). It returns the spilled tasks so the caller can charge cycles
-// and traffic.
+// and traffic; the slice is scratch reused by the next Spill or Refill.
 func (q *Queue) Spill(max int) []*Task {
 	if max <= 0 || len(q.idle) == 0 {
 		return nil
 	}
 	// Find the latest-order spillable idle tasks: scan the heap slice (it
 	// is not sorted, a full scan is fine at these sizes).
-	var cands []*Task
+	cands := q.listScratch[:0]
+	defer func() { q.listScratch = cands[:0] }()
 	for _, t := range q.idle {
 		if t.Parent == nil || t.Parent.State == Committed || t.Parent.State == Finished || t.Parent.State == Running {
 			cands = append(cands, t)
@@ -411,13 +477,15 @@ func (q *Queue) Spill(max int) []*Task {
 }
 
 // Refill moves up to max spilled tasks back into the queue while space
-// allows, earliest order first. It returns the refilled tasks.
+// allows, earliest order first. It returns the refilled tasks; the slice is
+// scratch reused by the next Spill or Refill.
 func (q *Queue) Refill(max int) []*Task {
 	if len(q.spillBuffer) == 0 {
 		return nil
 	}
 	sortTasksByOrderDesc(q.spillBuffer) // last element = earliest
-	var back []*Task
+	back := q.listScratch[:0]
+	defer func() { q.listScratch = back[:0] }()
 	for len(back) < max && len(q.spillBuffer) > 0 && !q.Full() {
 		t := q.spillBuffer[len(q.spillBuffer)-1]
 		if t.State == Squashed { // parent aborted while spilled

@@ -1,0 +1,10 @@
+// Package swarmhints reproduces "Data-Centric Execution of Speculative
+// Parallel Programs" (Jeffrey et al., MICRO 2016): a Swarm-style
+// speculative task-parallel programming model with spatial hints, executed
+// on a simulated tiled multicore.
+//
+// The public programming API lives in the swarm subpackage; the simulator,
+// workloads, experiment harness, and parallel sweep runner live under
+// internal/. This root package exists so the repository-level benchmarks in
+// bench_test.go (one testing.B per paper table/figure) run under the module.
+package swarmhints
