@@ -9,7 +9,9 @@
 package swarmhints_test
 
 import (
+	"encoding/json"
 	"io"
+	"os"
 	"testing"
 
 	"swarmhints/internal/bench"
@@ -147,6 +149,65 @@ func BenchmarkEngineContended(b *testing.B) {
 		return p
 	}
 	engineBench(b, build, 16, swarm.Hints)
+}
+
+// trajectoryPoint is one recorded perf-trajectory measurement, written as
+// BENCH_<rev>.json by TestBenchTrajectory (see README, "Perf trajectory").
+type trajectoryPoint struct {
+	Schema     string          `json:"schema"`
+	Rev        string          `json:"rev"`
+	Benchmarks []trajectoryRow `json:"benchmarks"`
+}
+
+type trajectoryRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	TasksPerOp  float64 `json:"tasksPerOp,omitempty"`
+}
+
+// TestBenchTrajectory records one perf-trajectory point: it runs the engine
+// hot-path micro-benchmarks through testing.Benchmark and writes their
+// ns/op and allocs/op to the JSON file named by SWARMHINTS_BENCH_JSON
+// (conventionally BENCH_<rev>.json, with the revision from SWARMHINTS_REV).
+// Skipped unless the env var is set, so `go test` stays side-effect free;
+// CI runs it on every push and uploads the file as a workflow artifact.
+func TestBenchTrajectory(t *testing.T) {
+	path := os.Getenv("SWARMHINTS_BENCH_JSON")
+	if path == "" {
+		t.Skip("set SWARMHINTS_BENCH_JSON=BENCH_<rev>.json to record a trajectory point")
+	}
+	rev := os.Getenv("SWARMHINTS_REV")
+	if rev == "" {
+		rev = "unversioned"
+	}
+	point := trajectoryPoint{Schema: "swarmhints.bench.v1", Rev: rev}
+	for _, b := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"EngineEnqueueCommit", BenchmarkEngineEnqueueCommit},
+		{"EngineContended", BenchmarkEngineContended},
+		{"SweepRunner", BenchmarkSweepRunner},
+	} {
+		res := testing.Benchmark(b.fn)
+		point.Benchmarks = append(point.Benchmarks, trajectoryRow{
+			Name:        b.name,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			TasksPerOp:  res.Extra["tasks/op"],
+		})
+	}
+	data, err := json.MarshalIndent(point, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("trajectory point for rev %s written to %s", rev, path)
 }
 
 // BenchmarkSweepRunner measures sweep-level wall clock through

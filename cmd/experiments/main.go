@@ -7,23 +7,32 @@
 // host cores; -parallel bounds the worker count. Results are byte-identical
 // for every -parallel value, including 1.
 //
+// -format json|csv additionally exports every simulation point the selected
+// experiments executed — per-tile and aggregate statistics labeled by
+// (bench, sched, cores, profile, scale, seed), schema swarmhints.metrics.v1,
+// sorted by configuration so the bytes are identical for every -parallel
+// value. Without -out the export replaces the human tables on stdout; with
+// -out FILE the tables keep stdout and the export goes to the file.
+//
 // Usage:
 //
 //	experiments -exp fig4 -scale small
 //	experiments -exp all -scale tiny          # quick smoke of everything
 //	experiments -exp all -parallel 8          # bound the worker pool
+//	experiments -exp fig4 -format json        # machine-readable export
+//	experiments -exp fig5 -format csv -out fig5.csv
 //	experiments -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
-	"swarmhints/internal/bench"
+	"swarmhints/internal/cliutil"
 	"swarmhints/internal/exp"
 )
 
@@ -34,6 +43,8 @@ func main() {
 		seed      = flag.Int64("seed", 7, "workload seed")
 		cores     = flag.String("cores", "", "comma-separated core sweep override, e.g. 1,16,256")
 		parallel  = flag.Int("parallel", 0, "simulation runs in flight at once (0 = GOMAXPROCS)")
+		format    = flag.String("format", "", "machine-readable output: json|csv (default: human tables)")
+		outFile   = flag.String("out", "", "write structured results to FILE (keeps human tables on stdout)")
 		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -45,28 +56,24 @@ func main() {
 		return
 	}
 
-	scale := bench.Small
-	switch strings.ToLower(*scaleName) {
-	case "tiny":
-		scale = bench.Tiny
-	case "small":
-		scale = bench.Small
-	case "full":
-		scale = bench.Full
-	default:
-		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	output, err := cliutil.ParseOutput(*format, *outFile)
+	if err != nil {
+		fatal(err)
+	}
+	scale, err := cliutil.ParseScale(*scaleName)
+	if err != nil {
+		fatal(err)
 	}
 	opt := exp.DefaultOptions(scale)
 	opt.Seed = *seed
 	opt.Parallel = *parallel
 	if *cores != "" {
-		opt.Cores = nil
-		for _, part := range strings.Split(*cores, ",") {
-			var c int
-			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &c); err != nil {
-				fatal(fmt.Errorf("bad -cores value %q", part))
-			}
-			opt.Cores = append(opt.Cores, c)
+		opt.Cores, err = cliutil.ParseInts(*cores, "-cores")
+		if err != nil {
+			fatal(err)
+		}
+		if len(opt.Cores) == 0 {
+			fatal(fmt.Errorf("-cores lists no core counts"))
 		}
 	}
 	runner := exp.NewRunner(opt)
@@ -87,16 +94,28 @@ func main() {
 	}
 	// To stderr so stdout stays byte-identical across -parallel values.
 	fmt.Fprintf(os.Stderr, "experiments: sweep runner with %d parallel workers\n", workers)
+
+	// With the structured export on stdout, the human tables are discarded
+	// (the experiments still run identically — the export reads their runs).
+	tableOut := io.Writer(os.Stdout)
+	if output.ReplacesHuman() {
+		tableOut = io.Discard
+	}
 	for _, e := range todo {
 		start := time.Now()
-		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-		if err := e.Run(runner, os.Stdout); err != nil {
+		fmt.Fprintf(tableOut, "=== %s: %s ===\n", e.ID, e.Title)
+		if err := e.Run(runner, tableOut); err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
 		// Wall-clock to stderr: stdout carries only experiment data, so
 		// sweeps at different -parallel values diff clean.
 		fmt.Fprintf(os.Stderr, "--- %s done in %v ---\n", e.ID, time.Since(start).Round(time.Millisecond))
-		fmt.Println()
+		fmt.Fprintln(tableOut)
+	}
+	if output.Enabled() {
+		if err := output.Write(runner.Export()); err != nil {
+			fatal(err)
+		}
 	}
 }
 

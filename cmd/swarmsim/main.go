@@ -9,6 +9,11 @@
 // one table row per run, in sweep order regardless of completion order.
 // Results are byte-identical for every -parallel value.
 //
+// -format json|csv emits the machine-readable result set (per-tile and
+// aggregate statistics, schema swarmhints.metrics.v1) instead of the human
+// report; with -out FILE the structured results go to the file and the
+// human report keeps stdout. Progress goes to stderr either way.
+//
 // Usage:
 //
 //	swarmsim -bench sssp -sched hints -cores 64 -scale small
@@ -16,6 +21,8 @@
 //	swarmsim -bench bfs,sssp,des -sched random,hints -cores 1,16,64 -parallel 8
 //	swarmsim -bench silo -cores 64 -taskq 16,32,64 -commitq 4,8,16
 //	swarmsim -bench des -cores 64 -seeds 5       # 5 derived-seed replicas
+//	swarmsim -bench mis -cores 64 -format json   # machine-readable results
+//	swarmsim -bench bfs -cores 1,16 -format csv -out sweep.csv
 //	swarmsim -list
 package main
 
@@ -27,9 +34,13 @@ import (
 	"strings"
 
 	"swarmhints/internal/bench"
+	"swarmhints/internal/cliutil"
 	"swarmhints/internal/runner"
 	"swarmhints/swarm"
 )
+
+// sweepFields is the label column order of the sweep's result set.
+var sweepFields = []string{"bench", "sched", "cores", "taskq", "commitq", "replica", "seed", "scale"}
 
 func main() {
 	var (
@@ -44,6 +55,8 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "runs in flight at once (0 = GOMAXPROCS)")
 		profile    = flag.Bool("profile", false, "collect access classification (Fig. 3; single run only)")
 		validate   = flag.Bool("validate", true, "check results against the serial reference")
+		format     = flag.String("format", "", "machine-readable output: json|csv (default: human report)")
+		outFile    = flag.String("out", "", "write structured results to FILE (keeps human report on stdout)")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
@@ -53,28 +66,28 @@ func main() {
 		return
 	}
 
-	scale, err := parseScale(*scaleName)
+	output, err := cliutil.ParseOutput(*format, *outFile)
 	if err != nil {
 		fatal(err)
 	}
-	benches := splitList(*benchList)
-	var kinds []swarm.SchedKind
-	for _, s := range splitList(*schedList) {
-		k, err := parseSched(s)
-		if err != nil {
-			fatal(err)
-		}
-		kinds = append(kinds, k)
-	}
-	cores, err := parseInts(*coresList, "-cores")
+	scale, err := cliutil.ParseScale(*scaleName)
 	if err != nil {
 		fatal(err)
 	}
-	taskqs, err := parseInts(*taskqList, "-taskq")
+	benches := cliutil.SplitList(*benchList)
+	kinds, err := cliutil.ParseScheds(*schedList)
 	if err != nil {
 		fatal(err)
 	}
-	commitqs, err := parseInts(*commitList, "-commitq")
+	cores, err := cliutil.ParseInts(*coresList, "-cores")
+	if err != nil {
+		fatal(err)
+	}
+	taskqs, err := cliutil.ParseInts(*taskqList, "-taskq")
+	if err != nil {
+		fatal(err)
+	}
+	commitqs, err := cliutil.ParseInts(*commitList, "-commitq")
 	if err != nil {
 		fatal(err)
 	}
@@ -122,21 +135,41 @@ func main() {
 		}
 	}
 
+	// workloadSeed is the seed run replica rep sees: the fixed -seed for
+	// single-seed sweeps (paper methodology: every configuration sees the
+	// same input), a replica-derived seed otherwise. Deriving from the
+	// replica index — not the sweep job index — keeps replica r of every
+	// configuration on one workload and reproducible as the sweep reshapes.
+	workloadSeed := func(rep int) int64 {
+		if *seeds > 1 {
+			return runner.DeriveSeed(*seed, rep)
+		}
+		return *seed
+	}
+	effective := func(v, def int) int {
+		if v > 0 {
+			return v
+		}
+		return def
+	}
+	scaled := swarm.ScaledConfig()
+
 	var hintPattern string // recorded for the single-run report
 	makeJob := func(p point) runner.Job {
 		return runner.Job{
 			Name: fmt.Sprintf("%s/%v/%dc", p.bench, p.kind, p.cores),
+			Labels: map[string]string{
+				"bench":   p.bench,
+				"sched":   p.kind.String(),
+				"cores":   strconv.Itoa(p.cores),
+				"taskq":   strconv.Itoa(effective(p.taskq, scaled.TaskQPerCore)),
+				"commitq": strconv.Itoa(effective(p.commitq, scaled.CommitQPerCore)),
+				"replica": strconv.Itoa(p.replica),
+				"seed":    strconv.FormatInt(workloadSeed(p.replica), 10),
+				"scale":   scale.String(),
+			},
 			Run: func(int64) (*swarm.Stats, error) {
-				// Single-seed sweeps keep the fixed workload seed so every
-				// configuration sees the same input (paper methodology).
-				// Replicas derive from the replica index, not the sweep job
-				// index, so replica r of every configuration shares one
-				// workload and stays reproducible as the sweep shape changes.
-				s := *seed
-				if *seeds > 1 {
-					s = runner.DeriveSeed(*seed, p.replica)
-				}
-				inst, err := bench.Build(p.bench, scale, s)
+				inst, err := bench.Build(p.bench, scale, workloadSeed(p.replica))
 				if err != nil {
 					return nil, err
 				}
@@ -183,26 +216,27 @@ func main() {
 		fatal(err)
 	}
 
-	if len(points) == 1 {
-		p := points[0]
-		printDetailed(p.bench, *scaleName, hintPattern, p.cores, p.kind, *validate, results[0].Stats)
-		return
+	if !output.ReplacesHuman() {
+		if len(points) == 1 {
+			p := points[0]
+			printDetailed(p.bench, *scaleName, hintPattern, p.cores, p.kind, *validate, results[0].Stats)
+		} else {
+			fmt.Printf("%-10s %-9s %6s %6s %7s %4s %14s %10s %8s %8s %12s\n",
+				"bench", "sched", "cores", "taskq", "commitq", "rep", "cycles", "tasks", "aborts", "spills", "flits")
+			for i, p := range points {
+				st := results[i].Stats
+				fmt.Printf("%-10s %-9v %6d %6d %7d %4d %14d %10d %8d %8d %12d\n",
+					p.bench, p.kind, p.cores,
+					effective(p.taskq, scaled.TaskQPerCore), effective(p.commitq, scaled.CommitQPerCore),
+					p.replica,
+					st.Cycles, st.CommittedTasks, st.AbortedAttempts, st.SpilledTasks, st.TotalTraffic())
+			}
+		}
 	}
-
-	fmt.Printf("%-10s %-9s %6s %6s %7s %4s %14s %10s %8s %8s %12s\n",
-		"bench", "sched", "cores", "taskq", "commitq", "rep", "cycles", "tasks", "aborts", "spills", "flits")
-	for i, p := range points {
-		st := results[i].Stats
-		tq, cq := p.taskq, p.commitq
-		if tq == 0 {
-			tq = swarm.ScaledConfig().TaskQPerCore
+	if output.Enabled() {
+		if err := output.Write(runner.Collect(results, sweepFields...)); err != nil {
+			fatal(err)
 		}
-		if cq == 0 {
-			cq = swarm.ScaledConfig().CommitQPerCore
-		}
-		fmt.Printf("%-10s %-9v %6d %6d %7d %4d %14d %10d %8d %8d %12d\n",
-			p.bench, p.kind, p.cores, tq, cq, p.replica,
-			st.Cycles, st.CommittedTasks, st.AbortedAttempts, st.SpilledTasks, st.TotalTraffic())
 	}
 }
 
@@ -225,6 +259,7 @@ func printDetailed(benchName, scaleName, hintPattern string, cores int, kind swa
 		st.Traffic[0], st.Traffic[1], st.Traffic[2], st.Traffic[3])
 	fmt.Printf("caches      L1 %d  L2 %d  L3 %d hits, %d mem accesses\n",
 		st.Cache.L1Hits, st.Cache.L2Hits, st.Cache.L3Hits, st.Cache.MemAccesses)
+	fmt.Printf("balance     load-imbalance %.2fx over %d tiles\n", st.LoadImbalance(), len(st.Tiles))
 	if st.Classification != nil {
 		cl := st.Classification
 		fmt.Printf("accesses    multiRO %.3f  singleRO %.3f  multiRW %.3f  singleRW %.3f  args %.3f\n",
@@ -233,56 +268,6 @@ func printDetailed(benchName, scaleName, hintPattern string, cores int, kind swa
 	if validated {
 		fmt.Println("validation  OK (matches serial reference)")
 	}
-}
-
-func splitList(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if p := strings.TrimSpace(part); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-func parseInts(s, flagName string) ([]int, error) {
-	var out []int
-	for _, part := range splitList(s) {
-		v, err := strconv.Atoi(part)
-		if err != nil {
-			return nil, fmt.Errorf("bad %s value %q", flagName, part)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func parseSched(s string) (swarm.SchedKind, error) {
-	switch strings.ToLower(s) {
-	case "random":
-		return swarm.Random, nil
-	case "stealing":
-		return swarm.Stealing, nil
-	case "hints":
-		return swarm.Hints, nil
-	case "lbhints":
-		return swarm.LBHints, nil
-	case "lbidle":
-		return swarm.LBIdleProxy, nil
-	}
-	return 0, fmt.Errorf("unknown scheduler %q", s)
-}
-
-func parseScale(s string) (bench.Scale, error) {
-	switch strings.ToLower(s) {
-	case "tiny":
-		return bench.Tiny, nil
-	case "small":
-		return bench.Small, nil
-	case "full":
-		return bench.Full, nil
-	}
-	return 0, fmt.Errorf("unknown scale %q", s)
 }
 
 func fatal(err error) {

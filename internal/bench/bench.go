@@ -27,6 +27,19 @@ const (
 	Full
 )
 
+// String names the scale as the -scale flag spells it.
+func (s Scale) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	case Full:
+		return "full"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
 // Instance is one freshly built, runnable benchmark instance. Programs run
 // once, so builders are called per run.
 type Instance struct {
@@ -60,6 +73,7 @@ var Registry = map[string]Builder{
 	"silo":     BuildSilo,
 	"genome":   BuildGenome,
 	"kmeans":   BuildKMeans,
+	"mis":      BuildMIS,
 }
 
 // Names returns the nine coarse-grain benchmark names in Table I order.

@@ -94,6 +94,15 @@ func graphForScale(name string, scale Scale, seed int64) *workload.Graph {
 		default:
 			return workload.PowerLaw(5000, 3, seed)
 		}
+	case "mis": // social-graph MIS over the same power-law family
+		switch scale {
+		case Tiny:
+			return workload.PowerLaw(260, 2, seed)
+		case Small:
+			return workload.PowerLaw(1400, 3, seed)
+		default:
+			return workload.PowerLaw(5600, 3, seed)
+		}
 	}
 	panic("unknown graph benchmark " + name)
 }

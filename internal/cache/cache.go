@@ -8,6 +8,7 @@ package cache
 import (
 	"swarmhints/internal/hashutil"
 	"swarmhints/internal/mem"
+	"swarmhints/internal/metrics"
 	"swarmhints/internal/noc"
 )
 
@@ -141,7 +142,9 @@ type dirEntry struct {
 	owner   int8   // owning tile when modified, else -1
 }
 
-// Stats aggregates hierarchy hit/miss counters.
+// Stats aggregates hierarchy hit/miss counters chip-wide. The per-tile
+// ground truth lives in the shared metrics.Recorder; Stats is the summed
+// view kept for the engine's aggregate snapshot.
 type Stats struct {
 	L1Hits, L2Hits, L3Hits, MemAccesses uint64
 	RemoteForwards, Invalidations       uint64
@@ -153,20 +156,23 @@ type Hierarchy struct {
 	cfg      Config
 	coresPer int
 	mesh     *noc.Mesh
+	rec      *metrics.Recorder
 	l1       []*array // per core
 	l2       []*array // per tile
 	l3       []*array // per tile (bank)
 	dir      map[uint64]*dirEntry
-	stats    Stats
 }
 
 // New builds the hierarchy for mesh.Tiles() tiles with coresPerTile cores.
+// Cache events publish per tile into the mesh's recorder, so the whole
+// memory system (caches + NoC) collects into one metrics.Recorder.
 func New(cfg Config, mesh *noc.Mesh, coresPerTile int) *Hierarchy {
 	tiles := mesh.Tiles()
 	h := &Hierarchy{
 		cfg:      cfg,
 		coresPer: coresPerTile,
 		mesh:     mesh,
+		rec:      mesh.Recorder(),
 		l1:       make([]*array, tiles*coresPerTile),
 		l2:       make([]*array, tiles),
 		l3:       make([]*array, tiles),
@@ -182,8 +188,21 @@ func New(cfg Config, mesh *noc.Mesh, coresPerTile int) *Hierarchy {
 	return h
 }
 
-// Stats returns accumulated counters.
-func (h *Hierarchy) Stats() Stats { return h.stats }
+// Stats returns the accumulated counters summed over tiles.
+func (h *Hierarchy) Stats() Stats {
+	return StatsFrom(h.rec.Aggregate())
+}
+
+// StatsFrom extracts the cache counters from an aggregated counter block.
+func StatsFrom(agg metrics.TileCounters) Stats {
+	return Stats{
+		L1Hits: agg.L1Hits, L2Hits: agg.L2Hits, L3Hits: agg.L3Hits,
+		MemAccesses:    agg.MemAccesses,
+		RemoteForwards: agg.RemoteForwards,
+		Invalidations:  agg.Invalidations,
+		Writebacks:     agg.Writebacks,
+	}
+}
 
 // homeBank returns the static-NUCA home tile of a line.
 func (h *Hierarchy) homeBank(line uint64) int {
@@ -205,13 +224,13 @@ func (h *Hierarchy) Access(core, tile int, addr uint64, write bool, class noc.Ms
 		// L1 hit. Writes still need exclusivity if other tiles share it.
 		if !write {
 			l1.touch(idx, false)
-			h.stats.L1Hits++
+			h.rec.Tile(tile).L1Hits++
 			return lat
 		}
 		if e := h.dir[line]; e == nil || (e.sharers == 1<<uint(tile) && e.owner <= int8(tile)) {
 			l1.touch(idx, true)
 			h.l2mark(tile, line, true)
-			h.stats.L1Hits++
+			h.rec.Tile(tile).L1Hits++
 			h.setOwner(line, tile)
 			return lat
 		}
@@ -225,7 +244,7 @@ func (h *Hierarchy) Access(core, tile int, addr uint64, write bool, class noc.Ms
 
 	if l2Idx >= 0 && !needsCoherence {
 		l2.touch(l2Idx, write)
-		h.stats.L2Hits++
+		h.rec.Tile(tile).L2Hits++
 		h.fillL1(core, tile, line, write)
 		if write {
 			h.setOwner(line, tile)
@@ -268,8 +287,8 @@ func (h *Hierarchy) Access(core, tile int, addr uint64, write bool, class noc.Ms
 		lat += h.mesh.Send(class, home, owner, 8)
 		lat += h.cfg.L2Latency
 		lat += h.mesh.Send(class, owner, tile, mem.LineSize) // data forward
-		h.stats.RemoteForwards++
-		h.stats.Writebacks++
+		h.rec.Tile(owner).RemoteForwards++
+		h.rec.Tile(owner).Writebacks++
 		e.owner = -1
 		e.sharers |= 1 << uint(tile)
 	} else {
@@ -279,13 +298,13 @@ func (h *Hierarchy) Access(core, tile int, addr uint64, write bool, class noc.Ms
 	l3 := h.l3[home]
 	if idx := l3.lookup(line); idx >= 0 {
 		l3.touch(idx, write)
-		h.stats.L3Hits++
+		h.rec.Tile(home).L3Hits++
 	} else {
 		// L3 miss: fetch from the memory controller at the chip edge.
 		lat += h.mesh.SendToEdge(class, home, 8)
 		lat += h.cfg.MemLatency
 		lat += h.mesh.SendToEdge(class, home, mem.LineSize)
-		h.stats.MemAccesses++
+		h.rec.Tile(home).MemAccesses++
 		victim, vDirty := l3.insert(line, write)
 		if victim != 0 {
 			h.evictL3(victim, home, vDirty, class)
@@ -345,9 +364,9 @@ func (h *Hierarchy) fillL1(core, tile int, line uint64, write bool) {
 
 // invalidateTile removes line from one tile's L2 and all its cores' L1s.
 func (h *Hierarchy) invalidateTile(tile int, line uint64, class noc.MsgClass) {
-	h.stats.Invalidations++
+	h.rec.Tile(tile).Invalidations++
 	if present, dirty := h.l2[tile].invalidate(line); present && dirty {
-		h.stats.Writebacks++
+		h.rec.Tile(tile).Writebacks++
 		h.mesh.Send(class, tile, h.homeBank(line), mem.LineSize)
 	}
 	base := tile * h.coresPer
@@ -369,7 +388,7 @@ func (h *Hierarchy) evictL2(victim uint64, tile int, dirty bool, class noc.MsgCl
 		}
 	}
 	if dirty {
-		h.stats.Writebacks++
+		h.rec.Tile(tile).Writebacks++
 		h.mesh.Send(class, tile, h.homeBank(victim), mem.LineSize)
 	}
 }
@@ -386,7 +405,7 @@ func (h *Hierarchy) evictL3(victim uint64, home int, dirty bool, class noc.MsgCl
 		delete(h.dir, victim)
 	}
 	if dirty {
-		h.stats.Writebacks++
+		h.rec.Tile(home).Writebacks++
 		h.mesh.SendToEdge(class, home, mem.LineSize)
 	}
 }

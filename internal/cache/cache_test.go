@@ -8,7 +8,7 @@ import (
 )
 
 func newTestHierarchy(k, coresPerTile int) (*Hierarchy, *noc.Mesh) {
-	mesh := noc.New(k)
+	mesh := noc.New(k, nil)
 	return New(ScaledConfig(), mesh, coresPerTile), mesh
 }
 
@@ -165,7 +165,7 @@ func TestFarTileCostsMore(t *testing.T) {
 	home := hA.homeBank(line)
 	far := 0
 	best := -1
-	mesh := noc.New(8)
+	mesh := noc.New(8, nil)
 	for tile := 0; tile < 64; tile++ {
 		if d := mesh.Latency(tile, home); d > best {
 			best, far = d, tile

@@ -13,7 +13,7 @@ import (
 // [L1 hit, cold-miss worst case] and never panics.
 func TestLatencyBoundsProperty(t *testing.T) {
 	cfg := ScaledConfig()
-	mesh := noc.New(4)
+	mesh := noc.New(4, nil)
 	worst := cfg.L1Latency + cfg.L2Latency + cfg.L3Latency + cfg.MemLatency +
 		8*(2*(4-1)+1) + 2*4 // generous NoC/invalidations slack
 	f := func(seed int64) bool {
@@ -39,7 +39,7 @@ func TestLatencyBoundsProperty(t *testing.T) {
 // TestStatsMonotonicProperty: hit/miss counters never decrease and every
 // access lands in exactly one level's counter.
 func TestStatsMonotonicProperty(t *testing.T) {
-	mesh := noc.New(2)
+	mesh := noc.New(2, nil)
 	h := New(ScaledConfig(), mesh, 1)
 	rng := rand.New(rand.NewSource(5))
 	var prev Stats
@@ -62,7 +62,7 @@ func TestStatsMonotonicProperty(t *testing.T) {
 // that fits in L1 must converge to all-L1-hits.
 func TestSingleCoreRepeatAccessConverges(t *testing.T) {
 	cfg := ScaledConfig()
-	h := New(cfg, noc.New(1), 1)
+	h := New(cfg, noc.New(1, nil), 1)
 	lines := cfg.L1.Lines() / 2
 	for pass := 0; pass < 3; pass++ {
 		for i := 0; i < lines; i++ {
@@ -83,7 +83,7 @@ func TestSingleCoreRepeatAccessConverges(t *testing.T) {
 // TestWriteReadOwnershipPingPong: two tiles alternately writing one line
 // must each invalidate the other — invalidations grow linearly.
 func TestWriteReadOwnershipPingPong(t *testing.T) {
-	h := New(ScaledConfig(), noc.New(2), 1)
+	h := New(ScaledConfig(), noc.New(2, nil), 1)
 	addr := uint64(0x8000)
 	for i := 0; i < 20; i++ {
 		h.Access(i%2, i%2, addr, true, noc.MsgMem)

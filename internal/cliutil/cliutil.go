@@ -1,0 +1,136 @@
+// Package cliutil holds the flag-parsing and output helpers shared by
+// cmd/swarmsim and cmd/experiments, which previously carried divergent
+// copies of the same list/scale/scheduler parsers. Both commands also share
+// the structured-output convention implemented by Output: -format selects a
+// machine-readable encoding, -out redirects it to a file so the
+// human-readable report keeps stdout.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"swarmhints/internal/bench"
+	"swarmhints/internal/metrics"
+	"swarmhints/swarm"
+)
+
+// SplitList splits a comma-separated flag value, dropping empty entries.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ParseInts parses a comma-separated integer list; flagName names the flag
+// in errors.
+func ParseInts(s, flagName string) ([]int, error) {
+	var out []int
+	for _, part := range SplitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s value %q", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseSched parses a scheduler name (case-insensitive).
+func ParseSched(s string) (swarm.SchedKind, error) {
+	switch strings.ToLower(s) {
+	case "random":
+		return swarm.Random, nil
+	case "stealing":
+		return swarm.Stealing, nil
+	case "hints":
+		return swarm.Hints, nil
+	case "lbhints":
+		return swarm.LBHints, nil
+	case "lbidle":
+		return swarm.LBIdleProxy, nil
+	}
+	return 0, fmt.Errorf("unknown scheduler %q (have random, stealing, hints, lbhints, lbidle)", s)
+}
+
+// ParseScheds parses a comma-separated scheduler list.
+func ParseScheds(s string) ([]swarm.SchedKind, error) {
+	var out []swarm.SchedKind
+	for _, part := range SplitList(s) {
+		k, err := ParseSched(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// ParseScale parses an input-scale name (case-insensitive).
+func ParseScale(s string) (bench.Scale, error) {
+	switch strings.ToLower(s) {
+	case "tiny":
+		return bench.Tiny, nil
+	case "small":
+		return bench.Small, nil
+	case "full":
+		return bench.Full, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (have tiny, small, full)", s)
+}
+
+// Output is the resolved structured-output destination of a command run.
+type Output struct {
+	Format metrics.Format
+	Path   string // "" = stdout
+}
+
+// ParseOutput validates a -format/-out flag pair.
+func ParseOutput(format, out string) (Output, error) {
+	f, err := metrics.ParseFormat(format)
+	if err != nil {
+		return Output{}, err
+	}
+	if f == metrics.FormatHuman && out != "" {
+		return Output{}, fmt.Errorf("-out %q needs -format json or csv", out)
+	}
+	return Output{Format: f, Path: out}, nil
+}
+
+// Enabled reports whether structured output was requested at all.
+func (o Output) Enabled() bool { return o.Format != metrics.FormatHuman }
+
+// ReplacesHuman reports whether structured output goes to stdout and
+// therefore replaces the human-readable report there; with -out FILE both
+// are emitted (human to stdout, structured to the file).
+func (o Output) ReplacesHuman() bool { return o.Enabled() && o.Path == "" }
+
+// Write encodes rs to the configured destination. No-op when structured
+// output is disabled.
+func (o Output) Write(rs *metrics.ResultSet) error {
+	if !o.Enabled() {
+		return nil
+	}
+	var w io.Writer = os.Stdout
+	if o.Path != "" {
+		f, err := os.Create(o.Path)
+		if err != nil {
+			return err
+		}
+		if err := rs.Write(f, o.Format); err != nil {
+			f.Close()
+			return err
+		}
+		// A close failure can be the first sign of a failed write-back;
+		// surface it instead of reporting a truncated file as success.
+		return f.Close()
+	}
+	return rs.Write(w, o.Format)
+}

@@ -1,0 +1,108 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"swarmhints/internal/bench"
+	"swarmhints/internal/metrics"
+	"swarmhints/swarm"
+)
+
+func TestSplitList(t *testing.T) {
+	got := SplitList(" a, b ,,c ")
+	if strings.Join(got, "|") != "a|b|c" {
+		t.Fatalf("SplitList = %v", got)
+	}
+	if SplitList("") != nil {
+		t.Fatal("empty list must be nil")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("1, 16,256", "-cores")
+	if err != nil || len(got) != 3 || got[2] != 256 {
+		t.Fatalf("ParseInts = %v, %v", got, err)
+	}
+	if _, err := ParseInts("1,x", "-cores"); err == nil || !strings.Contains(err.Error(), "-cores") {
+		t.Fatalf("bad value must error naming the flag, got %v", err)
+	}
+}
+
+func TestParseSched(t *testing.T) {
+	for in, want := range map[string]swarm.SchedKind{
+		"random": swarm.Random, "Stealing": swarm.Stealing, "HINTS": swarm.Hints,
+		"lbhints": swarm.LBHints, "lbidle": swarm.LBIdleProxy,
+	} {
+		got, err := ParseSched(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSched(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSched("fifo"); err == nil {
+		t.Fatal("unknown scheduler must error")
+	}
+}
+
+func TestParseScheds(t *testing.T) {
+	got, err := ParseScheds("random,hints")
+	if err != nil || len(got) != 2 || got[1] != swarm.Hints {
+		t.Fatalf("ParseScheds = %v, %v", got, err)
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]bench.Scale{"tiny": bench.Tiny, "Small": bench.Small, "FULL": bench.Full} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("unknown scale must error")
+	}
+}
+
+func TestParseOutput(t *testing.T) {
+	o, err := ParseOutput("", "")
+	if err != nil || o.Enabled() {
+		t.Fatalf("default output misparsed: %+v, %v", o, err)
+	}
+	o, err = ParseOutput("json", "")
+	if err != nil || !o.Enabled() || !o.ReplacesHuman() {
+		t.Fatalf("json-to-stdout misparsed: %+v, %v", o, err)
+	}
+	o, err = ParseOutput("csv", "x.csv")
+	if err != nil || !o.Enabled() || o.ReplacesHuman() {
+		t.Fatalf("csv-to-file misparsed: %+v, %v", o, err)
+	}
+	if _, err := ParseOutput("", "x.json"); err == nil {
+		t.Fatal("-out without -format must error")
+	}
+	if _, err := ParseOutput("xml", ""); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}
+
+func TestOutputWriteToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	rs := metrics.NewResultSet("bench")
+	rs.Append(map[string]string{"bench": "sssp"}, &metrics.Snapshot{Cycles: 1})
+	o := Output{Format: metrics.FormatJSON, Path: path}
+	if err := o.Write(rs); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), metrics.SchemaVersion) {
+		t.Fatal("written file missing schema version")
+	}
+	// Disabled output writes nothing.
+	if err := (Output{}).Write(rs); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -81,70 +81,70 @@ func TestBloomReset(t *testing.T) {
 // --- Accessor index ---
 
 func TestLaterWritersDetectsFutureData(t *testing.T) {
-	ix := NewIndex()
+	ix := NewIndex(nil)
 	early, late := mk(1, 10), mk(2, 20)
 	late.Writes = append(late.Writes, 0x100)
 	ix.OnWrite(late, 0x100)
-	got := ix.LaterWriters(0x100, early.Ord(), early)
+	got := ix.LaterWriters(0x100, early.Ord(), early, 0)
 	if len(got) != 1 || got[0] != late {
 		t.Fatalf("later writer not found: %v", got)
 	}
 	// The later task reading data written earlier is fine (forwarding).
-	if got := ix.LaterWriters(0x100, task.Order{TS: 30, ID: 3}, nil); len(got) != 0 {
+	if got := ix.LaterWriters(0x100, task.Order{TS: 30, ID: 3}, nil, 0); len(got) != 0 {
 		t.Fatal("earlier writer flagged as later")
 	}
 }
 
 func TestLaterAccessorsWriteConflict(t *testing.T) {
-	ix := NewIndex()
+	ix := NewIndex(nil)
 	early, r, w := mk(1, 10), mk(2, 20), mk(3, 30)
 	ix.OnRead(r, 0x200)
 	r.Reads = append(r.Reads, 0x200)
 	ix.OnWrite(w, 0x200)
 	w.Writes = append(w.Writes, 0x200)
-	got := ix.LaterAccessors(0x200, early.Ord(), early)
+	got := ix.LaterAccessors(0x200, early.Ord(), early, 0)
 	if len(got) != 2 {
 		t.Fatalf("want both later reader and writer, got %d", len(got))
 	}
 }
 
 func TestCommittedTasksIgnored(t *testing.T) {
-	ix := NewIndex()
+	ix := NewIndex(nil)
 	early, late := mk(1, 10), mk(2, 20)
 	ix.OnWrite(late, 0x300)
 	late.State = task.Committed
-	if got := ix.LaterWriters(0x300, early.Ord(), early); len(got) != 0 {
+	if got := ix.LaterWriters(0x300, early.Ord(), early, 0); len(got) != 0 {
 		t.Fatal("committed task flagged as conflicting")
 	}
 }
 
 func TestRemoveUnregisters(t *testing.T) {
-	ix := NewIndex()
+	ix := NewIndex(nil)
 	early, late := mk(1, 10), mk(2, 20)
 	ix.OnWrite(late, 0x400)
 	ix.OnRead(late, 0x408)
 	late.Writes = append(late.Writes, 0x400)
 	late.Reads = append(late.Reads, 0x408)
 	ix.Remove(late)
-	if got := ix.LaterWriters(0x400, early.Ord(), early); len(got) != 0 {
+	if got := ix.LaterWriters(0x400, early.Ord(), early, 0); len(got) != 0 {
 		t.Fatal("removed task still registered")
 	}
-	if got := ix.LaterAccessors(0x408, early.Ord(), early); len(got) != 0 {
+	if got := ix.LaterAccessors(0x408, early.Ord(), early, 0); len(got) != 0 {
 		t.Fatal("removed reader still registered")
 	}
 }
 
 func TestSelfExcluded(t *testing.T) {
-	ix := NewIndex()
+	ix := NewIndex(nil)
 	a := mk(1, 10)
 	ix.OnWrite(a, 0x500)
-	if got := ix.LaterWriters(0x500, task.Order{TS: 5}, a); len(got) != 0 {
+	if got := ix.LaterWriters(0x500, task.Order{TS: 5}, a, 0); len(got) != 0 {
 		t.Fatal("task conflicts with itself")
 	}
 }
 
 func TestAbortSetDescendants(t *testing.T) {
-	ix := NewIndex()
+	ix := NewIndex(nil)
 	p := mk(1, 10)
 	c1, c2 := mk(2, 20), mk(3, 30)
 	gc := mk(4, 40)
@@ -158,7 +158,7 @@ func TestAbortSetDescendants(t *testing.T) {
 }
 
 func TestAbortSetDataDependents(t *testing.T) {
-	ix := NewIndex()
+	ix := NewIndex(nil)
 	w := mk(1, 10)
 	r := mk(2, 20)
 	w.Writes = append(w.Writes, 0x600)
@@ -173,7 +173,7 @@ func TestAbortSetDataDependents(t *testing.T) {
 
 func TestAbortSetCascade(t *testing.T) {
 	// w wrote X; r read X and wrote Y; s read Y. Aborting w must abort all 3.
-	ix := NewIndex()
+	ix := NewIndex(nil)
 	w, r, s := mk(1, 10), mk(2, 20), mk(3, 30)
 	w.Writes = []uint64{0x700}
 	ix.OnWrite(w, 0x700)
@@ -190,7 +190,7 @@ func TestAbortSetCascade(t *testing.T) {
 }
 
 func TestAbortSetExcludesEarlierTasks(t *testing.T) {
-	ix := NewIndex()
+	ix := NewIndex(nil)
 	w := mk(5, 50)
 	earlier := mk(1, 10)
 	w.Writes = []uint64{0x800}
@@ -204,7 +204,7 @@ func TestAbortSetExcludesEarlierTasks(t *testing.T) {
 }
 
 func TestAbortSetIdleTaskHasNoWrites(t *testing.T) {
-	ix := NewIndex()
+	ix := NewIndex(nil)
 	p := mk(1, 10)
 	c := mk(2, 20)
 	c.Parent = p
@@ -218,12 +218,31 @@ func TestAbortSetIdleTaskHasNoWrites(t *testing.T) {
 }
 
 func TestComparisonsCounted(t *testing.T) {
-	ix := NewIndex()
+	ix := NewIndex(nil)
 	w := mk(1, 10)
 	ix.OnWrite(w, 0x900)
-	before := ix.Comparisons
-	ix.LaterWriters(0x900, task.Order{TS: 1}, nil)
-	if ix.Comparisons <= before {
+	before := ix.Comparisons()
+	ix.LaterWriters(0x900, task.Order{TS: 1}, nil, 0)
+	if ix.Comparisons() <= before {
 		t.Fatal("timestamp comparisons not counted")
+	}
+}
+
+func TestStandaloneIndexAcceptsAnyTile(t *testing.T) {
+	// A standalone index (nil recorder) holds a private single-tile
+	// recorder; queries for higher tile numbers must clamp, not panic.
+	ix := NewIndex(nil)
+	w := mk(1, 10)
+	w.Tile = 3
+	w.Writes = append(w.Writes, 0xa00)
+	ix.OnWrite(w, 0xa00)
+	if got := ix.LaterWriters(0xa00, task.Order{TS: 1}, nil, 5); len(got) != 1 {
+		t.Fatalf("later writer not found via out-of-range tile: %v", got)
+	}
+	if set := ix.AbortSet(w); len(set) != 1 {
+		t.Fatalf("AbortSet with out-of-range task tile: %v", set)
+	}
+	if ix.Comparisons() == 0 {
+		t.Fatal("clamped comparisons not counted")
 	}
 }

@@ -2,6 +2,7 @@ package conflict
 
 import (
 	"swarmhints/internal/mem"
+	"swarmhints/internal/metrics"
 	"swarmhints/internal/task"
 )
 
@@ -10,10 +11,11 @@ import (
 // the Index is the resolution step. Word-granularity, like the undo logs.
 type Index struct {
 	m map[uint64]*entry
-	// Comparisons counts timestamp comparisons performed, which the
-	// simulator turns into conflict-check latency (Table II: 5 cycles +
-	// 1 cycle per timestamp compared).
-	Comparisons uint64
+	// rec receives per-tile counts of timestamp comparisons performed,
+	// which the simulator turns into conflict-check latency (Table II:
+	// 5 cycles + 1 cycle per timestamp compared). Query methods take the
+	// tile on whose behalf the check runs.
+	rec *metrics.Recorder
 
 	// AbortSet scratch, reused across aborts so closure computation does
 	// not allocate. Valid until the next AbortSet call; per-Index, so
@@ -33,10 +35,28 @@ type entry struct {
 	writers []*task.Task
 }
 
-// NewIndex returns an empty accessor index.
-func NewIndex() *Index {
-	return &Index{m: make(map[uint64]*entry)}
+// NewIndex returns an empty accessor index publishing comparison counts
+// into rec. A nil rec gets a private single-tile recorder (standalone use).
+func NewIndex(rec *metrics.Recorder) *Index {
+	if rec == nil {
+		rec = metrics.New(1)
+	}
+	return &Index{m: make(map[uint64]*entry), rec: rec}
 }
+
+// comp returns the comparison counter for tile, clamping out-of-range
+// indices to tile 0 so a standalone index (private single-tile recorder)
+// accepts any tile value its caller's tasks carry.
+func (ix *Index) comp(tile int) *uint64 {
+	if tile >= ix.rec.Tiles() {
+		tile = 0
+	}
+	return &ix.rec.Tile(tile).Comparisons
+}
+
+// Comparisons returns the total timestamp comparisons performed, summed
+// over tiles.
+func (ix *Index) Comparisons() uint64 { return ix.rec.Aggregate().Comparisons }
 
 func (ix *Index) get(addr uint64) *entry {
 	e := ix.m[addr]
@@ -70,15 +90,17 @@ func (ix *Index) OnWrite(t *task.Task, addr uint64) {
 
 // LaterWriters returns uncommitted writers of addr ordered after o,
 // excluding self. A read by a task ordered at o must abort these: the
-// reader must not observe data from its logical future.
-func (ix *Index) LaterWriters(addr uint64, o task.Order, self *task.Task) []*task.Task {
+// reader must not observe data from its logical future. tile is the tile
+// performing the check, for comparison attribution.
+func (ix *Index) LaterWriters(addr uint64, o task.Order, self *task.Task, tile int) []*task.Task {
 	e := ix.m[addr]
 	if e == nil {
 		return nil
 	}
+	comp := ix.comp(tile)
 	var out []*task.Task
 	for _, w := range e.writers {
-		ix.Comparisons++
+		*comp++
 		if w != self && w.State != task.Committed && o.Before(w.Ord()) {
 			out = append(out, w)
 		}
@@ -90,14 +112,15 @@ func (ix *Index) LaterWriters(addr uint64, o task.Order, self *task.Task) []*tas
 // that precedes o, or nil. This is the producer whose value a read at order
 // o observes; the engine uses it to model forwarding latency — a consumer
 // cannot complete before the producer's execution produced the value.
-func (ix *Index) LatestEarlierWriter(addr uint64, o task.Order, self *task.Task) *task.Task {
+func (ix *Index) LatestEarlierWriter(addr uint64, o task.Order, self *task.Task, tile int) *task.Task {
 	e := ix.m[addr]
 	if e == nil {
 		return nil
 	}
+	comp := ix.comp(tile)
 	var best *task.Task
 	for _, w := range e.writers {
-		ix.Comparisons++
+		*comp++
 		if w != self && w.State != task.Committed && w.Ord().Before(o) {
 			if best == nil || best.Ord().Before(w.Ord()) {
 				best = w
@@ -110,12 +133,13 @@ func (ix *Index) LatestEarlierWriter(addr uint64, o task.Order, self *task.Task)
 // LaterAccessors returns uncommitted tasks ordered after o that read or
 // wrote addr, excluding self. A write by a task ordered at o must abort all
 // of these (readers observed a stale value; writers' undo chains would
-// unwind incorrectly otherwise).
-func (ix *Index) LaterAccessors(addr uint64, o task.Order, self *task.Task) []*task.Task {
+// unwind incorrectly otherwise). tile attributes the comparisons.
+func (ix *Index) LaterAccessors(addr uint64, o task.Order, self *task.Task, tile int) []*task.Task {
 	e := ix.m[addr]
 	if e == nil {
 		return nil
 	}
+	comp := ix.comp(tile)
 	var out []*task.Task
 	seen := func(t *task.Task) bool {
 		for _, x := range out {
@@ -126,13 +150,13 @@ func (ix *Index) LaterAccessors(addr uint64, o task.Order, self *task.Task) []*t
 		return false
 	}
 	for _, r := range e.readers {
-		ix.Comparisons++
+		*comp++
 		if r != self && r.State != task.Committed && o.Before(r.Ord()) && !seen(r) {
 			out = append(out, r)
 		}
 	}
 	for _, w := range e.writers {
-		ix.Comparisons++
+		*comp++
 		if w != self && w.State != task.Committed && o.Before(w.Ord()) && !seen(w) {
 			out = append(out, w)
 		}
@@ -202,7 +226,7 @@ func (ix *Index) AbortSet(seed *task.Task) []*task.Task {
 		// Only tasks that actually executed have speculative writes.
 		if t.State == task.Running || t.State == task.Finished {
 			for _, a := range t.Writes {
-				for _, u := range ix.LaterAccessors(a, t.Ord(), t) {
+				for _, u := range ix.LaterAccessors(a, t.Ord(), t, t.Tile) {
 					if !inSet[u] {
 						inSet[u] = true
 						work = append(work, u)

@@ -10,9 +10,11 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 
 	"swarmhints/internal/bench"
+	"swarmhints/internal/metrics"
 	"swarmhints/internal/runner"
 	"swarmhints/swarm"
 )
@@ -60,11 +62,12 @@ type Runner struct {
 
 	mu    sync.Mutex
 	cache map[string]*swarm.Stats
+	pts   map[string]Point // configuration behind each cache key, for Export
 }
 
 // NewRunner builds a runner.
 func NewRunner(opt Options) *Runner {
-	return &Runner{opt: opt, cache: make(map[string]*swarm.Stats)}
+	return &Runner{opt: opt, cache: make(map[string]*swarm.Stats), pts: make(map[string]Point)}
 }
 
 // Point identifies one simulation configuration: a benchmark run under a
@@ -97,6 +100,7 @@ func (r *Runner) Run(name string, kind swarm.SchedKind, cores int, profile bool)
 	}
 	r.mu.Lock()
 	r.cache[key] = st
+	r.pts[key] = p
 	r.mu.Unlock()
 	return st, nil
 }
@@ -163,7 +167,9 @@ func (r *Runner) Prime(points []Point) error {
 	r.mu.Lock()
 	for i, res := range results {
 		if res.Err == nil && res.Stats != nil {
-			r.cache[todo[i].key()] = res.Stats
+			key := todo[i].key()
+			r.cache[key] = res.Stats
+			r.pts[key] = todo[i]
 		}
 	}
 	r.mu.Unlock()
@@ -181,6 +187,54 @@ func (r *Runner) PrimeGrid(names []string, kinds []swarm.SchedKind, cores []int,
 		}
 	}
 	return r.Prime(points)
+}
+
+// ExportFields is the label column order of Export's result sets.
+var ExportFields = []string{"bench", "sched", "cores", "profile", "scale", "seed"}
+
+// Export returns every simulation point the runner has executed so far as a
+// machine-readable result set: per-tile and aggregate statistics labeled by
+// (bench, sched, cores, profile, scale, seed), sorted by configuration.
+// Because records come from the deterministic result cache and are sorted,
+// the encoded bytes are identical for every Options.Parallel value.
+func (r *Runner) Export() *metrics.ResultSet {
+	r.mu.Lock()
+	points := make([]Point, 0, len(r.pts))
+	for _, p := range r.pts {
+		points = append(points, p)
+	}
+	r.mu.Unlock()
+	sort.Slice(points, func(i, j int) bool {
+		a, b := points[i], points[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Cores != b.Cores {
+			return a.Cores < b.Cores
+		}
+		return !a.Profile && b.Profile
+	})
+	rs := metrics.NewResultSet(ExportFields...)
+	for _, p := range points {
+		r.mu.Lock()
+		st := r.cache[p.key()]
+		r.mu.Unlock()
+		if st == nil {
+			continue
+		}
+		rs.Append(map[string]string{
+			"bench":   p.Name,
+			"sched":   p.Kind.String(),
+			"cores":   strconv.Itoa(p.Cores),
+			"profile": strconv.FormatBool(p.Profile),
+			"scale":   r.opt.Scale.String(),
+			"seed":    strconv.FormatInt(r.opt.Seed, 10),
+		}, st.Snapshot())
+	}
+	return rs
 }
 
 // Speedup returns cycles(1 core) / cycles(cores) for a benchmark/scheduler.

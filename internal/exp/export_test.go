@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"swarmhints/internal/bench"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// exportJSON runs one experiment at Tiny scale with the given parallelism
+// and returns the machine-readable export bytes.
+func exportJSON(t *testing.T, id string, parallel int) []byte {
+	t.Helper()
+	e, err := Find(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions(bench.Tiny)
+	o.Cores = []int{1, 4}
+	o.Parallel = parallel
+	r := NewRunner(o)
+	var discard bytes.Buffer
+	if err := e.Run(r, &discard); err != nil {
+		t.Fatalf("%s with Parallel=%d: %v", id, parallel, err)
+	}
+	var buf bytes.Buffer
+	if err := r.Export().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestExportByteIdenticalAcrossParallelism is the acceptance contract for
+// the structured pipeline: the JSON export must be byte-identical for every
+// -parallel value, because records come from the deterministic result cache
+// and are sorted by configuration, never by completion order.
+func TestExportByteIdenticalAcrossParallelism(t *testing.T) {
+	for _, id := range []string{"fig2", "fig4"} {
+		p1 := exportJSON(t, id, 1)
+		p8 := exportJSON(t, id, 8)
+		if !bytes.Equal(p1, p8) {
+			t.Errorf("%s: JSON export differs between Parallel=1 and Parallel=8", id)
+		}
+	}
+}
+
+// TestExportGolden pins the export bytes for fig2 at Tiny scale against a
+// committed golden file, proving the schema (field names, ordering,
+// encoding) and the simulation results are stable. Regenerate with
+// `go test ./internal/exp -run TestExportGolden -update` after an
+// intentional engine or schema change.
+func TestExportGolden(t *testing.T) {
+	got := exportJSON(t, "fig2", 4)
+	golden := filepath.Join("testdata", "export_fig2_tiny.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("export differs from %s (%d vs %d bytes); rerun with -update if the change is intentional",
+			golden, len(got), len(want))
+	}
+}
+
+// TestExportLabelsComplete checks every record carries the full label
+// schema and per-tile blocks sized to its machine.
+func TestExportLabelsComplete(t *testing.T) {
+	o := DefaultOptions(bench.Tiny)
+	o.Cores = []int{1, 4}
+	r := NewRunner(o)
+	if err := Fig2(r, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	rs := r.Export()
+	if len(rs.Records) == 0 {
+		t.Fatal("export is empty after running fig2")
+	}
+	for _, rec := range rs.Records {
+		for _, f := range ExportFields {
+			if rec.Labels[f] == "" {
+				t.Fatalf("record missing label %q: %v", f, rec.Labels)
+			}
+		}
+		if rec.Snapshot == nil || len(rec.Snapshot.PerTile) != rec.Snapshot.NumTiles {
+			t.Fatal("record snapshot malformed")
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// SchemaVersion identifies the machine-readable result schema. Bump it on
+// any field removal or meaning change; additions are backward-compatible.
+const SchemaVersion = "swarmhints.metrics.v1"
+
+// Format selects a machine-readable encoding.
+type Format string
+
+// Formats. FormatHuman means "no structured output": the caller prints its
+// usual human-readable tables instead.
+const (
+	FormatHuman Format = ""
+	FormatJSON  Format = "json"
+	FormatCSV   Format = "csv"
+)
+
+// ParseFormat parses a -format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "", "human":
+		return FormatHuman, nil
+	case "json":
+		return FormatJSON, nil
+	case "csv":
+		return FormatCSV, nil
+	}
+	return FormatHuman, fmt.Errorf("unknown format %q (have human, json, csv)", s)
+}
+
+// Snapshot is the stable machine-readable form of one run's statistics:
+// chip-wide aggregates, derived metrics, and the per-tile counter blocks.
+// Scalar fields are flat so they map one-to-one onto CSV columns; PerTile
+// appears only in JSON output.
+type Snapshot struct {
+	Cycles   uint64 `json:"cycles"`
+	Cores    int    `json:"cores"`
+	NumTiles int    `json:"tiles"`
+
+	CommittedTasks  uint64 `json:"committedTasks"`
+	AbortedAttempts uint64 `json:"abortedAttempts"`
+	SquashedTasks   uint64 `json:"squashedTasks"`
+	SpilledTasks    uint64 `json:"spilledTasks"`
+	StolenTasks     uint64 `json:"stolenTasks"`
+	EnqueuedTasks   uint64 `json:"enqueuedTasks"`
+
+	CommitCycles uint64 `json:"commitCycles"`
+	AbortCycles  uint64 `json:"abortCycles"`
+	SpillCycles  uint64 `json:"spillCycles"`
+	StallCycles  uint64 `json:"stallCycles"`
+	EmptyCycles  uint64 `json:"emptyCycles"`
+
+	TrafficMem   uint64 `json:"trafficMem"`
+	TrafficAbort uint64 `json:"trafficAbort"`
+	TrafficTask  uint64 `json:"trafficTask"`
+	TrafficGVT   uint64 `json:"trafficGVT"`
+	TrafficTotal uint64 `json:"trafficTotal"`
+
+	L1Hits         uint64 `json:"l1Hits"`
+	L2Hits         uint64 `json:"l2Hits"`
+	L3Hits         uint64 `json:"l3Hits"`
+	MemAccesses    uint64 `json:"memAccesses"`
+	RemoteForwards uint64 `json:"remoteForwards"`
+	Invalidations  uint64 `json:"invalidations"`
+	Writebacks     uint64 `json:"writebacks"`
+
+	Comparisons uint64 `json:"comparisons"`
+	GVTRounds   uint64 `json:"gvtRounds"`
+	Reconfigs   uint64 `json:"reconfigs"`
+
+	// Derived metrics.
+	WastedFraction float64 `json:"wastedFraction"` // aborted / (aborted+committed) cycles
+	LoadImbalance  float64 `json:"loadImbalance"`  // max/mean committed cycles per tile
+	// Per-class traffic fractions of TrafficTotal (0 when no traffic).
+	TrafficFracMem   float64 `json:"trafficFracMem"`
+	TrafficFracAbort float64 `json:"trafficFracAbort"`
+	TrafficFracTask  float64 `json:"trafficFracTask"`
+	TrafficFracGVT   float64 `json:"trafficFracGVT"`
+
+	// Classification is the Fig. 3/6 access profile; present only when the
+	// run collected it (Config.Profile). JSON-only, like PerTile.
+	Classification *AccessClassification `json:"classification,omitempty"`
+
+	PerTile []TileCounters `json:"perTile"`
+}
+
+// AccessClassification is the single/multi-hint × RO/RW access profile of
+// a profiled run (fractions of TotalAccesses).
+type AccessClassification struct {
+	MultiHintRO   float64 `json:"multiHintRO"`
+	SingleHintRO  float64 `json:"singleHintRO"`
+	MultiHintRW   float64 `json:"multiHintRW"`
+	SingleHintRW  float64 `json:"singleHintRW"`
+	Arguments     float64 `json:"arguments"`
+	TotalAccesses uint64  `json:"totalAccesses"`
+}
+
+// snapshotColumns is the fixed CSV column order for Snapshot's scalar
+// fields. Keep in sync with (*Snapshot).values. The machine-size columns
+// are prefixed "sim" so they can never collide with caller label columns
+// like "cores".
+var snapshotColumns = []string{
+	"cycles", "simCores", "simTiles",
+	"committedTasks", "abortedAttempts", "squashedTasks", "spilledTasks",
+	"stolenTasks", "enqueuedTasks",
+	"commitCycles", "abortCycles", "spillCycles", "stallCycles", "emptyCycles",
+	"trafficMem", "trafficAbort", "trafficTask", "trafficGVT", "trafficTotal",
+	"l1Hits", "l2Hits", "l3Hits", "memAccesses",
+	"remoteForwards", "invalidations", "writebacks",
+	"comparisons", "gvtRounds", "reconfigs",
+	"wastedFraction", "loadImbalance",
+	"trafficFracMem", "trafficFracAbort", "trafficFracTask", "trafficFracGVT",
+}
+
+func (s *Snapshot) values() []string {
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return []string{
+		u(s.Cycles), strconv.Itoa(s.Cores), strconv.Itoa(s.NumTiles),
+		u(s.CommittedTasks), u(s.AbortedAttempts), u(s.SquashedTasks), u(s.SpilledTasks),
+		u(s.StolenTasks), u(s.EnqueuedTasks),
+		u(s.CommitCycles), u(s.AbortCycles), u(s.SpillCycles), u(s.StallCycles), u(s.EmptyCycles),
+		u(s.TrafficMem), u(s.TrafficAbort), u(s.TrafficTask), u(s.TrafficGVT), u(s.TrafficTotal),
+		u(s.L1Hits), u(s.L2Hits), u(s.L3Hits), u(s.MemAccesses),
+		u(s.RemoteForwards), u(s.Invalidations), u(s.Writebacks),
+		u(s.Comparisons), u(s.GVTRounds), u(s.Reconfigs),
+		f(s.WastedFraction), f(s.LoadImbalance),
+		f(s.TrafficFracMem), f(s.TrafficFracAbort), f(s.TrafficFracTask), f(s.TrafficFracGVT),
+	}
+}
+
+// Record pairs one run's identifying labels with its snapshot.
+type Record struct {
+	Labels   map[string]string `json:"labels"`
+	Snapshot *Snapshot         `json:"stats"`
+}
+
+// ResultSet is an ordered collection of run records sharing a label schema.
+// Fields lists the label keys in CSV column order; JSON objects marshal
+// labels with sorted keys, so both encodings are byte-deterministic for a
+// given record order. Callers own that order: append records in a
+// deterministic sequence (job order, sorted configurations), never in
+// completion order.
+type ResultSet struct {
+	Schema  string   `json:"schema"`
+	Fields  []string `json:"fields"`
+	Records []Record `json:"records"`
+}
+
+// NewResultSet returns an empty result set with the given label columns.
+func NewResultSet(fields ...string) *ResultSet {
+	return &ResultSet{Schema: SchemaVersion, Fields: fields}
+}
+
+// Append adds one record.
+func (rs *ResultSet) Append(labels map[string]string, s *Snapshot) {
+	rs.Records = append(rs.Records, Record{Labels: labels, Snapshot: s})
+}
+
+// WriteJSON writes the set as indented JSON with a trailing newline. Output
+// is byte-deterministic: struct fields marshal in declaration order and
+// label maps with sorted keys.
+func (rs *ResultSet) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(rs, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteCSV writes one row per record: label columns (Fields order) followed
+// by the Snapshot scalar columns. Per-tile counters are JSON-only; CSV
+// carries aggregates and derived metrics.
+func (rs *ResultSet) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, rs.Fields...), snapshotColumns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, rec := range rs.Records {
+		row := make([]string, 0, len(header))
+		for _, f := range rs.Fields {
+			row = append(row, rec.Labels[f])
+		}
+		row = append(row, rec.Snapshot.values()...)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Write encodes the set in the given format. FormatHuman is an error: the
+// caller owns human-readable output.
+func (rs *ResultSet) Write(w io.Writer, format Format) error {
+	switch format {
+	case FormatJSON:
+		return rs.WriteJSON(w)
+	case FormatCSV:
+		return rs.WriteCSV(w)
+	}
+	return fmt.Errorf("metrics: no encoder for format %q", string(format))
+}

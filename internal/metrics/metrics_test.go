@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRecorderAggregateSumsTiles(t *testing.T) {
+	r := New(4)
+	r.Tile(0).CommitCycles = 10
+	r.Tile(3).CommitCycles = 32
+	r.Tile(1).Traffic[2] = 7
+	r.Tile(2).Traffic[2] = 5
+	r.Tile(2).Comparisons = 9
+	agg := r.Aggregate()
+	if agg.CommitCycles != 42 {
+		t.Fatalf("CommitCycles = %d, want 42", agg.CommitCycles)
+	}
+	if agg.Traffic[2] != 12 {
+		t.Fatalf("Traffic[2] = %d, want 12", agg.Traffic[2])
+	}
+	if agg.Comparisons != 9 {
+		t.Fatalf("Comparisons = %d, want 9", agg.Comparisons)
+	}
+}
+
+func TestRecorderMinimumOneTile(t *testing.T) {
+	if got := New(0).Tiles(); got != 1 {
+		t.Fatalf("New(0) has %d tiles, want 1", got)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	r := New(2)
+	r.Tile(0).L1Hits = 1
+	snap := r.Snapshot()
+	r.Tile(0).L1Hits = 100
+	if snap[0].L1Hits != 1 {
+		t.Fatal("Snapshot aliases live counters")
+	}
+}
+
+func TestResetTraffic(t *testing.T) {
+	r := New(2)
+	r.Tile(1).Traffic[0] = 5
+	r.Tile(1).L2Hits = 3
+	r.ResetTraffic()
+	if r.Tile(1).Traffic[0] != 0 {
+		t.Fatal("traffic not cleared")
+	}
+	if r.Tile(1).L2Hits != 3 {
+		t.Fatal("ResetTraffic must touch only traffic counters")
+	}
+}
+
+func TestTileCountersAddCoversEveryField(t *testing.T) {
+	// Marshal a unit-filled block, add it to a zero block, and require the
+	// JSON forms match: catches any field forgotten in Add.
+	var unit TileCounters
+	b, err := json.Marshal(&unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := []byte(strings.ReplaceAll(string(b), ":0", ":1"))
+	fill = []byte(strings.ReplaceAll(string(fill), "[0,0,0,0]", "[1,1,1,1]"))
+	var src TileCounters
+	if err := json.Unmarshal(fill, &src); err != nil {
+		t.Fatal(err)
+	}
+	var dst TileCounters
+	dst.Add(&src)
+	got, _ := json.Marshal(&dst)
+	if string(got) != string(fill) {
+		t.Fatalf("Add dropped fields:\n got %s\nwant %s", got, fill)
+	}
+}
+
+func snap(cycles uint64) *Snapshot {
+	return &Snapshot{Cycles: cycles, Cores: 4, NumTiles: 1, WastedFraction: 0.25}
+}
+
+func TestResultSetJSONDeterministic(t *testing.T) {
+	build := func() *ResultSet {
+		rs := NewResultSet("bench", "cores")
+		rs.Append(map[string]string{"bench": "sssp", "cores": "4"}, snap(100))
+		rs.Append(map[string]string{"bench": "bfs", "cores": "16"}, snap(200))
+		return rs
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("identical result sets encode differently")
+	}
+	if !strings.Contains(a.String(), SchemaVersion) {
+		t.Fatal("JSON output missing schema version")
+	}
+	if !strings.HasSuffix(a.String(), "\n") {
+		t.Fatal("JSON output must end with a newline")
+	}
+}
+
+func TestResultSetCSVShape(t *testing.T) {
+	rs := NewResultSet("bench")
+	rs.Append(map[string]string{"bench": "des"}, snap(123))
+	var buf bytes.Buffer
+	if err := rs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 row", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	if len(header) != len(row) {
+		t.Fatalf("header has %d columns, row has %d", len(header), len(row))
+	}
+	if header[0] != "bench" || row[0] != "des" {
+		t.Fatalf("label column wrong: %s=%s", header[0], row[0])
+	}
+	if header[1] != "cycles" || row[1] != "123" {
+		t.Fatalf("first metric column wrong: %s=%s", header[1], row[1])
+	}
+	if want := 1 + len(snapshotColumns); len(header) != want {
+		t.Fatalf("CSV has %d columns, want %d", len(header), want)
+	}
+}
+
+func TestSnapshotColumnsMatchValues(t *testing.T) {
+	if got, want := len((&Snapshot{}).values()), len(snapshotColumns); got != want {
+		t.Fatalf("values() returns %d columns, snapshotColumns lists %d", got, want)
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for in, want := range map[string]Format{
+		"": FormatHuman, "human": FormatHuman, "json": FormatJSON, "csv": FormatCSV,
+	} {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}
+
+func TestWriteRejectsHumanFormat(t *testing.T) {
+	if err := NewResultSet().Write(&bytes.Buffer{}, FormatHuman); err == nil {
+		t.Fatal("FormatHuman has no encoder; Write must error")
+	}
+}

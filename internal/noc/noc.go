@@ -2,8 +2,11 @@
 // K×K mesh with X-Y dimension-order routing, 128-bit links, 1 cycle per hop
 // going straight and 2 cycles on turns (Table II, like Tile64), plus flit
 // accounting broken down by message class so the harness can reproduce the
-// paper's "NoC data transferred" figures (Fig. 5b, Fig. 8b).
+// paper's "NoC data transferred" figures (Fig. 5b, Fig. 8b). Flits are
+// published per injecting tile into a metrics.Recorder.
 package noc
+
+import "swarmhints/internal/metrics"
 
 // FlitBytes is the payload of one flit on the 128-bit links.
 const FlitBytes = 16
@@ -41,17 +44,26 @@ func (c MsgClass) String() string {
 // Mesh is a K×K mesh interconnect among tiles. Tile i sits at
 // (i%K, i/K). Memory controllers sit at the four chip edges.
 type Mesh struct {
-	k     int
-	flits [numClasses]uint64
+	k   int
+	rec *metrics.Recorder
 }
 
-// New returns a mesh with k columns and rows (k*k tiles).
-func New(k int) *Mesh {
+// New returns a mesh with k columns and rows (k*k tiles). Flits are
+// attributed per injecting tile into rec; a nil rec gets a private recorder
+// (standalone use in tests and tools).
+func New(k int, rec *metrics.Recorder) *Mesh {
 	if k < 1 {
 		k = 1
 	}
-	return &Mesh{k: k}
+	if rec == nil {
+		rec = metrics.New(k * k)
+	}
+	return &Mesh{k: k, rec: rec}
 }
+
+// Recorder returns the recorder flits are published into. The cache
+// hierarchy shares it so the whole memory system collects into one place.
+func (m *Mesh) Recorder() *metrics.Recorder { return m.rec }
 
 // K returns the mesh dimension.
 func (m *Mesh) K() int { return m.k }
@@ -94,31 +106,39 @@ func (m *Mesh) EdgeLatency(tile int) int {
 	return d + 1 // +1 to cross onto the controller port
 }
 
-// Send accounts for a message of size bytes in class c and returns its
-// latency. Zero-hop (same tile) messages still inject flits locally only if
-// they cross the network; we follow the paper and count only remote traffic.
+// Send accounts for a message of size bytes in class c, attributed to the
+// injecting tile src, and returns its latency. Zero-hop (same tile) messages
+// still inject flits locally only if they cross the network; we follow the
+// paper and count only remote traffic.
 func (m *Mesh) Send(c MsgClass, src, dst, bytes int) int {
 	if src == dst {
 		return 0
 	}
-	m.flits[c] += uint64(flitsFor(bytes))
+	m.rec.Tile(src).Traffic[c] += uint64(flitsFor(bytes))
 	return m.Latency(src, dst)
 }
 
-// SendToEdge accounts for a tile<->memory-controller message.
+// SendToEdge accounts for a tile<->memory-controller message, attributed to
+// the tile.
 func (m *Mesh) SendToEdge(c MsgClass, tile, bytes int) int {
-	m.flits[c] += uint64(flitsFor(bytes))
+	m.rec.Tile(tile).Traffic[c] += uint64(flitsFor(bytes))
 	return m.EdgeLatency(tile)
 }
 
-// Flits returns flits injected for one class.
-func (m *Mesh) Flits(c MsgClass) uint64 { return m.flits[c] }
+// Flits returns flits injected for one class, summed over tiles.
+func (m *Mesh) Flits(c MsgClass) uint64 {
+	var t uint64
+	for i := 0; i < m.rec.Tiles(); i++ {
+		t += m.rec.Tile(i).Traffic[c]
+	}
+	return t
+}
 
 // TotalFlits returns all flits injected.
 func (m *Mesh) TotalFlits() uint64 {
 	var t uint64
-	for _, f := range m.flits {
-		t += f
+	for c := MsgClass(0); c < numClasses; c++ {
+		t += m.Flits(c)
 	}
 	return t
 }
@@ -126,11 +146,11 @@ func (m *Mesh) TotalFlits() uint64 {
 // Breakdown returns flits per class in declaration order
 // (mem, abort, task, gvt).
 func (m *Mesh) Breakdown() [4]uint64 {
-	return [4]uint64{m.flits[MsgMem], m.flits[MsgAbort], m.flits[MsgTask], m.flits[MsgGVT]}
+	return [4]uint64{m.Flits(MsgMem), m.Flits(MsgAbort), m.Flits(MsgTask), m.Flits(MsgGVT)}
 }
 
 // ResetStats clears flit counters (used between measurement regions).
-func (m *Mesh) ResetStats() { m.flits = [numClasses]uint64{} }
+func (m *Mesh) ResetStats() { m.rec.ResetTraffic() }
 
 func flitsFor(bytes int) int {
 	if bytes <= 0 {

@@ -6,14 +6,14 @@ import (
 )
 
 func TestLatencySameTile(t *testing.T) {
-	m := New(4)
+	m := New(4, nil)
 	if m.Latency(5, 5) != 0 {
 		t.Fatal("same-tile latency must be 0")
 	}
 }
 
 func TestLatencyStraightLine(t *testing.T) {
-	m := New(4)
+	m := New(4, nil)
 	// Tiles 0..3 are row 0: straight X route, 1 cycle/hop.
 	if got := m.Latency(0, 3); got != 3 {
 		t.Fatalf("straight 3-hop latency = %d, want 3", got)
@@ -25,7 +25,7 @@ func TestLatencyStraightLine(t *testing.T) {
 }
 
 func TestLatencyTurnPenalty(t *testing.T) {
-	m := New(4)
+	m := New(4, nil)
 	// 0 -> 5: one X hop + one Y hop + 1 turn penalty = 3.
 	if got := m.Latency(0, 5); got != 3 {
 		t.Fatalf("turning route latency = %d, want 3", got)
@@ -33,7 +33,7 @@ func TestLatencyTurnPenalty(t *testing.T) {
 }
 
 func TestLatencySymmetric(t *testing.T) {
-	m := New(8)
+	m := New(8, nil)
 	f := func(a, b uint8) bool {
 		s, d := int(a)%64, int(b)%64
 		return m.Latency(s, d) == m.Latency(d, s)
@@ -46,7 +46,7 @@ func TestLatencySymmetric(t *testing.T) {
 func TestLatencyBounds(t *testing.T) {
 	// Max latency on a KxK mesh is 2(K-1)+1 (full diagonal with one turn).
 	for _, k := range []int{1, 2, 4, 8} {
-		m := New(k)
+		m := New(k, nil)
 		maxWant := 2*(k-1) + 1
 		for s := 0; s < m.Tiles(); s++ {
 			for d := 0; d < m.Tiles(); d++ {
@@ -59,7 +59,7 @@ func TestLatencyBounds(t *testing.T) {
 }
 
 func TestHopsTriangleInequality(t *testing.T) {
-	m := New(8)
+	m := New(8, nil)
 	f := func(a, b, c uint8) bool {
 		x, y, z := int(a)%64, int(b)%64, int(c)%64
 		return m.Hops(x, z) <= m.Hops(x, y)+m.Hops(y, z)
@@ -70,7 +70,7 @@ func TestHopsTriangleInequality(t *testing.T) {
 }
 
 func TestEdgeLatency(t *testing.T) {
-	m := New(4)
+	m := New(4, nil)
 	if got := m.EdgeLatency(0); got != 1 {
 		t.Fatalf("corner tile edge latency = %d, want 1", got)
 	}
@@ -81,7 +81,7 @@ func TestEdgeLatency(t *testing.T) {
 }
 
 func TestSendAccountsFlits(t *testing.T) {
-	m := New(4)
+	m := New(4, nil)
 	m.Send(MsgMem, 0, 1, 64) // 64B = 4 flits
 	m.Send(MsgTask, 0, 2, 40)
 	m.Send(MsgTask, 1, 1, 40) // local: no flits
@@ -97,7 +97,7 @@ func TestSendAccountsFlits(t *testing.T) {
 }
 
 func TestSendControlFlit(t *testing.T) {
-	m := New(2)
+	m := New(2, nil)
 	m.Send(MsgGVT, 0, 1, 0)
 	if m.Flits(MsgGVT) != 1 {
 		t.Fatal("zero-byte message must cost one control flit")
@@ -105,7 +105,7 @@ func TestSendControlFlit(t *testing.T) {
 }
 
 func TestBreakdownOrder(t *testing.T) {
-	m := New(2)
+	m := New(2, nil)
 	m.Send(MsgMem, 0, 1, 16)
 	m.Send(MsgAbort, 0, 1, 16)
 	m.Send(MsgTask, 0, 1, 16)
@@ -119,7 +119,7 @@ func TestBreakdownOrder(t *testing.T) {
 }
 
 func TestResetStats(t *testing.T) {
-	m := New(2)
+	m := New(2, nil)
 	m.Send(MsgMem, 0, 1, 64)
 	m.ResetStats()
 	if m.TotalFlits() != 0 {

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"swarmhints/internal/hashutil"
+	"swarmhints/internal/metrics"
 	"swarmhints/swarm"
 )
 
@@ -27,6 +28,10 @@ import (
 type Job struct {
 	// Name labels the job in results and error messages.
 	Name string
+	// Labels are the job's typed coordinates in the sweep (benchmark,
+	// scheduler, cores, …), carried through to its Result and into
+	// machine-readable exports via Collect.
+	Labels map[string]string
 	// Run executes the job and returns its statistics. The seed argument is
 	// the job's derived seed (DeriveSeed of the sweep seed and the job
 	// index); jobs that fix their own seed — e.g. paper experiments, which
@@ -51,11 +56,12 @@ type Options struct {
 // Result is the outcome of one job, delivered at the job's index in the
 // slice Sweep returns regardless of completion order.
 type Result struct {
-	Index int
-	Name  string
-	Seed  int64 // derived seed the job received
-	Stats *swarm.Stats
-	Err   error
+	Index  int
+	Name   string
+	Labels map[string]string // the job's Labels, passed through
+	Seed   int64             // derived seed the job received
+	Stats  *swarm.Stats
+	Err    error
 }
 
 // DeriveSeed returns the seed for run index i of a sweep seeded with
@@ -112,7 +118,7 @@ func Sweep(jobs []Job, opt Options) []Result {
 // runOne executes a single job, converting a panic into an error so one
 // broken configuration cannot take down the rest of the sweep.
 func runOne(j Job, index int, seed int64) (res Result) {
-	res = Result{Index: index, Name: j.Name, Seed: seed}
+	res = Result{Index: index, Name: j.Name, Labels: j.Labels, Seed: seed}
 	defer func() {
 		if r := recover(); r != nil {
 			res.Stats = nil
@@ -133,4 +139,19 @@ func FirstErr(results []Result) error {
 		}
 	}
 	return nil
+}
+
+// Collect assembles the sweep's machine-readable result set: one record per
+// successful result, in job order, labeled with the job's Labels. fields
+// fixes the label column order for CSV output. Failed jobs are skipped —
+// pair Collect with FirstErr to surface them.
+func Collect(results []Result, fields ...string) *metrics.ResultSet {
+	rs := metrics.NewResultSet(fields...)
+	for _, r := range results {
+		if r.Err != nil || r.Stats == nil {
+			continue
+		}
+		rs.Append(r.Labels, r.Stats.Snapshot())
+	}
+	return rs
 }

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"swarmhints/internal/hashutil"
+	"swarmhints/internal/metrics"
 	"swarmhints/internal/task"
 )
 
@@ -64,6 +65,7 @@ type Scheduler struct {
 	kind  Kind
 	tiles int
 	rng   *rand.Rand
+	rec   *metrics.Recorder
 
 	// LB state.
 	buckets      int
@@ -72,16 +74,20 @@ type Scheduler struct {
 	interval     uint64
 	nextReconfig uint64
 	fraction     float64
-	reconfigs    int
 }
 
 // New builds a scheduler for the given tile count. seed fixes the RNG used
-// for Random/NOHINT placement so runs are reproducible.
-func New(kind Kind, tiles int, interval uint64, seed int64) *Scheduler {
+// for Random/NOHINT placement so runs are reproducible. Reconfiguration
+// counts publish into rec; a nil rec gets a private recorder.
+func New(kind Kind, tiles int, interval uint64, seed int64, rec *metrics.Recorder) *Scheduler {
+	if rec == nil {
+		rec = metrics.New(tiles)
+	}
 	s := &Scheduler{
 		kind:     kind,
 		tiles:    tiles,
 		rng:      rand.New(rand.NewSource(seed)),
+		rec:      rec,
 		interval: interval,
 		fraction: DefaultRebalanceFraction,
 	}
@@ -111,7 +117,7 @@ func (s *Scheduler) SerializeSameHint() bool {
 }
 
 // Reconfigs returns how many tile-map reconfigurations have run.
-func (s *Scheduler) Reconfigs() int { return s.reconfigs }
+func (s *Scheduler) Reconfigs() int { return int(s.rec.Reconfigs) }
 
 // DestTile picks the destination tile for a newly created task and, for LB
 // kinds, records the task's bucket.
@@ -166,7 +172,7 @@ func (s *Scheduler) ReconfigDue(now uint64) bool {
 // profiled independently.
 func (s *Scheduler) Reconfigure(now uint64, idlePerTile []int) {
 	s.nextReconfig = now + s.interval
-	s.reconfigs++
+	s.rec.Reconfigs++
 
 	load := make([]float64, s.tiles)
 	bucketLoad := make([]float64, s.buckets)

@@ -12,7 +12,7 @@ func hintTask(id, hint uint64) *task.Task {
 }
 
 func TestRandomSpreads(t *testing.T) {
-	s := New(Random, 16, 0, 1)
+	s := New(Random, 16, 0, 1, nil)
 	counts := make([]int, 16)
 	for i := uint64(0); i < 1600; i++ {
 		counts[s.DestTile(hintTask(i, 7), 0)]++
@@ -25,7 +25,7 @@ func TestRandomSpreads(t *testing.T) {
 }
 
 func TestHintsDeterministicMapping(t *testing.T) {
-	s := New(Hints, 16, 0, 1)
+	s := New(Hints, 16, 0, 1, nil)
 	a := s.DestTile(hintTask(1, 42), 3)
 	b := s.DestTile(hintTask(2, 42), 9)
 	if a != b {
@@ -37,7 +37,7 @@ func TestHintsDeterministicMapping(t *testing.T) {
 }
 
 func TestHintsNoHintIsRandom(t *testing.T) {
-	s := New(Hints, 16, 0, 1)
+	s := New(Hints, 16, 0, 1, nil)
 	seen := map[int]bool{}
 	for i := uint64(0); i < 200; i++ {
 		tk := task.NewTask(i, 0, i, task.HintNone, 0, nil)
@@ -49,7 +49,7 @@ func TestHintsNoHintIsRandom(t *testing.T) {
 }
 
 func TestSameHintStaysLocal(t *testing.T) {
-	s := New(Hints, 16, 0, 1)
+	s := New(Hints, 16, 0, 1, nil)
 	p := task.NewTask(1, 0, 1, task.HintNone, 0, nil)
 	c := task.NewTask(2, 0, 2, task.HintSame, 0, p)
 	if got := s.DestTile(c, 11); got != 11 {
@@ -58,7 +58,7 @@ func TestSameHintStaysLocal(t *testing.T) {
 }
 
 func TestStealingEnqueuesLocally(t *testing.T) {
-	s := New(Stealing, 16, 0, 1)
+	s := New(Stealing, 16, 0, 1, nil)
 	if got := s.DestTile(hintTask(1, 99), 5); got != 5 {
 		t.Fatalf("Stealing enqueued remotely: %d", got)
 	}
@@ -69,19 +69,19 @@ func TestStealingEnqueuesLocally(t *testing.T) {
 
 func TestSerializeSameHintFlag(t *testing.T) {
 	for _, k := range []Kind{Hints, LBHints, LBIdleProxy} {
-		if !New(k, 4, 100, 1).SerializeSameHint() {
+		if !New(k, 4, 100, 1, nil).SerializeSameHint() {
 			t.Fatalf("%v must serialize same-hint tasks", k)
 		}
 	}
 	for _, k := range []Kind{Random, Stealing} {
-		if New(k, 4, 100, 1).SerializeSameHint() {
+		if New(k, 4, 100, 1, nil).SerializeSameHint() {
 			t.Fatalf("%v must not serialize by hint", k)
 		}
 	}
 }
 
 func TestLBInitialMapUniform(t *testing.T) {
-	s := New(LBHints, 4, 1000, 1)
+	s := New(LBHints, 4, 1000, 1, nil)
 	counts := make([]int, 4)
 	for b := 0; b < s.Buckets(); b++ {
 		counts[s.TileOfBucket(b)]++
@@ -94,7 +94,7 @@ func TestLBInitialMapUniform(t *testing.T) {
 }
 
 func TestLBTaskGetsBucket(t *testing.T) {
-	s := New(LBHints, 4, 1000, 1)
+	s := New(LBHints, 4, 1000, 1, nil)
 	tk := hintTask(1, 777)
 	dest := s.DestTile(tk, 0)
 	if tk.Bucket < 0 || tk.Bucket >= s.Buckets() {
@@ -106,7 +106,7 @@ func TestLBTaskGetsBucket(t *testing.T) {
 }
 
 func TestLBReconfigMovesLoadedBuckets(t *testing.T) {
-	s := New(LBHints, 4, 1000, 1)
+	s := New(LBHints, 4, 1000, 1, nil)
 	// Pile committed cycles onto buckets of tile 0.
 	var hot []uint64
 	for h := uint64(0); len(hot) < 8; h++ {
@@ -137,7 +137,7 @@ func TestLBReconfigMovesLoadedBuckets(t *testing.T) {
 }
 
 func TestLBReconfigPreservesPartition(t *testing.T) {
-	s := New(LBHints, 8, 100, 1)
+	s := New(LBHints, 8, 100, 1, nil)
 	for i := uint64(0); i < 500; i++ {
 		tk := hintTask(i, i%37)
 		s.DestTile(tk, 0)
@@ -153,7 +153,7 @@ func TestLBReconfigPreservesPartition(t *testing.T) {
 }
 
 func TestLBReconfigReducesImbalance(t *testing.T) {
-	s := New(LBHints, 4, 100, 1)
+	s := New(LBHints, 4, 100, 1, nil)
 	// Known synthetic load: buckets on tile 0 carry all cycles.
 	loads := func() []float64 {
 		l := make([]float64, 4)
@@ -186,7 +186,7 @@ func TestLBReconfigReducesImbalance(t *testing.T) {
 func hashOwnedByTile0Initially(b, tiles int) bool { return b%tiles == 0 }
 
 func TestLBIdleProxyUsesIdleCounts(t *testing.T) {
-	s := New(LBIdleProxy, 2, 100, 1)
+	s := New(LBIdleProxy, 2, 100, 1, nil)
 	// No committed cycles at all; idle counts alone should still move
 	// buckets from tile 0 (loaded) to tile 1 (empty).
 	s.Reconfigure(100, []int{100, 0})
@@ -202,7 +202,7 @@ func TestLBIdleProxyUsesIdleCounts(t *testing.T) {
 }
 
 func TestReconfigScheduling(t *testing.T) {
-	s := New(LBHints, 2, 500, 1)
+	s := New(LBHints, 2, 500, 1, nil)
 	if s.ReconfigDue(499) {
 		t.Fatal("reconfig due too early")
 	}
@@ -217,7 +217,7 @@ func TestReconfigScheduling(t *testing.T) {
 
 func TestNonLBKindsNeverReconfig(t *testing.T) {
 	for _, k := range []Kind{Random, Stealing, Hints} {
-		s := New(k, 4, 100, 1)
+		s := New(k, 4, 100, 1, nil)
 		if s.ReconfigDue(1_000_000) {
 			t.Fatalf("%v scheduled a reconfig", k)
 		}

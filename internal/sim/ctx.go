@@ -26,7 +26,7 @@ type Ctx struct {
 // N-deep chain of read-modify-writes would collapse to a single task
 // duration of wall-clock time under any scheduler.
 func (c *Ctx) waitForProducer(addr uint64) {
-	w := c.e.index.LatestEarlierWriter(addr, c.t.Ord(), c.t)
+	w := c.e.index.LatestEarlierWriter(addr, c.t.Ord(), c.t, c.tile)
 	if w == nil || w.State != task.Running {
 		return
 	}
@@ -59,7 +59,7 @@ func (c *Ctx) Read(addr uint64) uint64 {
 	c.cycles += uint64(e.hier.Access(c.core, c.tile, addr, false, noc.MsgMem))
 	c.cycles += e.cfg.ConflictCheckCycles
 	for {
-		ws := e.index.LaterWriters(addr, c.t.Ord(), c.t)
+		ws := e.index.LaterWriters(addr, c.t.Ord(), c.t, c.tile)
 		if len(ws) == 0 {
 			break
 		}
@@ -86,7 +86,7 @@ func (c *Ctx) Write(addr, val uint64) {
 	c.cycles += uint64(e.hier.Access(c.core, c.tile, addr, true, noc.MsgMem))
 	c.cycles += e.cfg.ConflictCheckCycles
 	for {
-		us := e.index.LaterAccessors(addr, c.t.Ord(), c.t)
+		us := e.index.LaterAccessors(addr, c.t.Ord(), c.t, c.tile)
 		if len(us) == 0 {
 			break
 		}

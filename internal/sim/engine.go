@@ -8,6 +8,7 @@ import (
 	"swarmhints/internal/conflict"
 	"swarmhints/internal/gvt"
 	"swarmhints/internal/mem"
+	"swarmhints/internal/metrics"
 	"swarmhints/internal/noc"
 	"swarmhints/internal/sched"
 	"swarmhints/internal/task"
@@ -117,6 +118,10 @@ type Engine struct {
 	finished [][]*task.Task // per tile
 	cores    []coreState
 
+	// rec is the per-tile metrics recorder every subsystem publishes into;
+	// the run's Stats are a snapshot over it.
+	rec *metrics.Recorder
+
 	events eventHeap
 	evSeq  uint64
 	now    uint64
@@ -159,13 +164,15 @@ func Run(p *Program, roots []Root, cfg Config) (*Stats, error) {
 
 func newEngine(p *Program, cfg Config) *Engine {
 	tiles := cfg.Tiles()
+	rec := metrics.New(tiles)
 	e := &Engine{
 		cfg:   cfg,
 		prog:  p,
-		mesh:  noc.New(cfg.MeshK),
-		index: conflict.NewIndex(),
+		rec:   rec,
+		mesh:  noc.New(cfg.MeshK, rec),
+		index: conflict.NewIndex(rec),
 		arb:   gvt.NewArbiter(cfg.GVTInterval),
-		schd:  sched.New(cfg.Scheduler, tiles, cfg.LBInterval, cfg.Seed),
+		schd:  sched.New(cfg.Scheduler, tiles, cfg.LBInterval, cfg.Seed, rec),
 	}
 	e.hier = cache.New(cfg.Cache, e.mesh, cfg.CoresPerTile)
 	e.queues = make([]*task.Queue, tiles)
@@ -253,14 +260,32 @@ func (e *Engine) dumpState() string {
 	return s
 }
 
+// finalizeStats takes the run's Stats as a snapshot over the recorder:
+// every chip-wide aggregate is the sum of the per-tile counters, and the
+// per-tile blocks themselves ride along for the per-tile views.
 func (e *Engine) finalizeStats() {
+	agg := e.rec.Aggregate()
 	e.stats.Cycles = e.now
 	e.stats.Cores = len(e.cores)
-	e.stats.Traffic = e.mesh.Breakdown()
-	e.stats.Cache = e.hier.Stats()
-	e.stats.Comparisons = e.index.Comparisons
+	e.stats.Breakdown = CycleBreakdown{
+		Commit: agg.CommitCycles,
+		Abort:  agg.AbortCycles,
+		Spill:  agg.SpillCycles,
+		Stall:  agg.StallCycles,
+		Empty:  agg.EmptyCycles,
+	}
+	e.stats.CommittedTasks = agg.CommittedTasks
+	e.stats.AbortedAttempts = agg.AbortedAttempts
+	e.stats.SquashedTasks = agg.SquashedTasks
+	e.stats.SpilledTasks = agg.SpilledTasks
+	e.stats.StolenTasks = agg.StolenTasks
+	e.stats.EnqueuedTasks = agg.EnqueuedTasks
+	e.stats.Traffic = agg.Traffic
+	e.stats.Cache = cache.StatsFrom(agg)
+	e.stats.Comparisons = agg.Comparisons
 	e.stats.Reconfigs = e.schd.Reconfigs()
 	e.stats.GVTRounds = e.arb.Rounds()
+	e.stats.Tiles = e.rec.Snapshot()
 	if e.prof != nil {
 		e.stats.Classification = e.prof.classify()
 	}
@@ -354,8 +379,9 @@ func (e *Engine) commit(t *task.Task) {
 	e.index.Remove(t)
 	e.queues[t.Tile].Commit(t)
 	e.live--
-	e.stats.CommittedTasks++
-	e.stats.Breakdown.Commit += t.RunCycles
+	tc := e.rec.Tile(t.Tile)
+	tc.CommittedTasks++
+	tc.CommitCycles += t.RunCycles
 	e.schd.OnCommit(t, t.RunCycles)
 	if e.prof != nil {
 		e.prof.onCommit(t.Reads, t.Writes, t.Hint, t.HasHint(), t.ID, len(t.Args))
@@ -414,29 +440,31 @@ func (e *Engine) enqueue(parent *task.Task, fromTile int, fn task.FnID, ts uint6
 			// Task queue exhausted and nothing spillable: overflow the new
 			// descriptor itself to memory.
 			q.SpillDirect(t)
-			e.stats.SpilledTasks++
+			e.rec.Tile(dest).SpilledTasks++
 			e.mesh.SendToEdge(noc.MsgMem, dest, task.DescriptorBytes(t))
 		}
 	}
 	e.live++
-	e.stats.EnqueuedTasks++
+	e.rec.Tile(dest).EnqueuedTasks++
 	return t
 }
 
 // spill fires the tile's coalescer (Sec. II-B / Table II).
 func (e *Engine) spill(tile int) {
 	sp := e.queues[tile].Spill(e.cfg.SpillBatch)
+	tc := e.rec.Tile(tile)
 	for _, t := range sp {
-		e.stats.SpilledTasks++
-		e.stats.Breakdown.Spill += e.cfg.SpillCyclesPer
+		tc.SpilledTasks++
+		tc.SpillCycles += e.cfg.SpillCyclesPer
 		e.mesh.SendToEdge(noc.MsgMem, tile, task.DescriptorBytes(t))
 	}
 }
 
 func (e *Engine) refill(tile int) {
 	back := e.queues[tile].Refill(e.cfg.SpillBatch)
+	tc := e.rec.Tile(tile)
 	for _, t := range back {
-		e.stats.Breakdown.Spill += e.cfg.SpillCyclesPer
+		tc.SpillCycles += e.cfg.SpillCyclesPer
 		e.mesh.SendToEdge(noc.MsgMem, tile, task.DescriptorBytes(t))
 	}
 }
@@ -580,7 +608,7 @@ func (e *Engine) steal(tile int) {
 		e.queues[victim].Enqueue(t) // put it back; should not happen
 		return
 	}
-	e.stats.StolenTasks++
+	e.rec.Tile(tile).StolenTasks++
 }
 
 func (e *Engine) execute(t *task.Task, coreID int) {
@@ -626,8 +654,9 @@ func (e *Engine) abort(seed *task.Task) {
 			// "simulating conflict check and rollback delays").
 			rb := e.cfg.AbortBaseCycles + 2*uint64(len(t.Writes))
 			soFar := e.now - t.DispatchCycle
-			e.stats.Breakdown.Abort += soFar + rb
-			e.stats.AbortedAttempts++
+			tc := e.rec.Tile(t.Tile)
+			tc.AbortCycles += soFar + rb
+			tc.AbortedAttempts++
 			cs := &e.cores[t.Core]
 			cs.running = nil
 			cs.gen++
@@ -640,13 +669,14 @@ func (e *Engine) abort(seed *task.Task) {
 			if squash {
 				q.SquashRunning(t)
 				e.live--
-				e.stats.SquashedTasks++
+				tc.SquashedTasks++
 			} else {
 				q.AbortRunning(t)
 			}
 		case task.Finished:
-			e.stats.Breakdown.Abort += t.RunCycles
-			e.stats.AbortedAttempts++
+			tc := e.rec.Tile(t.Tile)
+			tc.AbortCycles += t.RunCycles
+			tc.AbortedAttempts++
 			e.removeFinished(t)
 			e.rollbackTraffic(t)
 			logs = append(logs, &t.Undo)
@@ -654,7 +684,7 @@ func (e *Engine) abort(seed *task.Task) {
 			if squash {
 				q.SquashFinished(t)
 				e.live--
-				e.stats.SquashedTasks++
+				tc.SquashedTasks++
 			} else {
 				q.AbortFinished(t)
 			}
@@ -662,11 +692,11 @@ func (e *Engine) abort(seed *task.Task) {
 			// Never ran: in the set only as a descendant. Squash it.
 			q.Squash(t)
 			e.live--
-			e.stats.SquashedTasks++
+			e.rec.Tile(t.Tile).SquashedTasks++
 		case task.Spilled:
 			t.State = task.Squashed // spill buffer drops it lazily
 			e.live--
-			e.stats.SquashedTasks++
+			e.rec.Tile(t.Tile).SquashedTasks++
 		}
 	}
 	e.undoScratch = mem.RollbackInto(e.prog.Mem, logs, e.undoScratch)[:0]
@@ -712,9 +742,9 @@ func (e *Engine) flushIdle(coreID int) {
 	gap := e.now - cs.idleSince
 	switch cs.reason {
 	case idleEmpty:
-		e.stats.Breakdown.Empty += gap
+		e.rec.Tile(cs.tile).EmptyCycles += gap
 	case idleCommitQ, idleSerial:
-		e.stats.Breakdown.Stall += gap
+		e.rec.Tile(cs.tile).StallCycles += gap
 	}
 	cs.idleSince = e.now
 	cs.reason = idleNone

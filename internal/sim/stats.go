@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"swarmhints/internal/cache"
+	"swarmhints/internal/metrics"
 )
 
 // CycleBreakdown is the per-category sum of core cycles, matching the
@@ -24,13 +25,23 @@ func (b CycleBreakdown) Total() uint64 {
 	return b.Commit + b.Abort + b.Spill + b.Stall + b.Empty
 }
 
-// Stats is the result of one simulation run.
+// CoreTotal returns the sum of the four core-occupancy categories. Commit,
+// abort, stall, and empty cycles partition core time exactly, so
+// CoreTotal() == Cores×Cycles is a conservation invariant of every run;
+// spill cycles are charged to the tile's coalescer unit on top of that.
+func (b CycleBreakdown) CoreTotal() uint64 {
+	return b.Commit + b.Abort + b.Stall + b.Empty
+}
+
+// Stats is the result of one simulation run: a chip-wide aggregate snapshot
+// over the run's metrics.Recorder, plus the per-tile counter blocks the
+// aggregates were summed from.
 type Stats struct {
 	// Cycles is the makespan: the cycle at which the last task committed.
 	Cycles uint64
 	// Cores is the number of cores simulated.
 	Cores int
-	// Breakdown attributes Cores×Cycles aggregate core cycles.
+	// Breakdown attributes aggregate core cycles (see CoreTotal).
 	Breakdown CycleBreakdown
 
 	CommittedTasks  uint64
@@ -48,6 +59,10 @@ type Stats struct {
 	Comparisons uint64
 	Reconfigs   int
 	GVTRounds   uint64
+
+	// Tiles is the per-tile counter snapshot: one block per tile, the
+	// ground truth every aggregate field above is summed from.
+	Tiles []metrics.TileCounters
 
 	// Classification is the Fig. 3/6 access profile (nil unless
 	// Config.Profile was set).
@@ -71,6 +86,114 @@ func (s *Stats) WastedFraction() float64 {
 		return 0
 	}
 	return float64(s.Breakdown.Abort) / float64(d)
+}
+
+// LoadImbalance returns max/mean committed cycles per tile — the paper's
+// load-imbalance story (Sec. VI): 1.0 is perfect balance, T (the tile
+// count) is all work on one tile. Returns 0 when nothing committed.
+func (s *Stats) LoadImbalance() float64 {
+	if len(s.Tiles) == 0 {
+		return 0
+	}
+	var max, sum uint64
+	for i := range s.Tiles {
+		c := s.Tiles[i].CommitCycles
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(s.Tiles))
+	return float64(max) / mean
+}
+
+// TrafficFraction returns class c's share of total injected flits
+// (0 when there is no traffic).
+func (s *Stats) TrafficFraction(c int) float64 {
+	total := s.TotalTraffic()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Traffic[c]) / float64(total)
+}
+
+// TileBreakdown returns tile i's cycle breakdown.
+func (s *Stats) TileBreakdown(i int) CycleBreakdown {
+	t := &s.Tiles[i]
+	return CycleBreakdown{
+		Commit: t.CommitCycles,
+		Abort:  t.AbortCycles,
+		Spill:  t.SpillCycles,
+		Stall:  t.StallCycles,
+		Empty:  t.EmptyCycles,
+	}
+}
+
+// Snapshot converts the run's statistics into the stable machine-readable
+// schema, including the per-tile counter blocks and derived metrics.
+func (s *Stats) Snapshot() *metrics.Snapshot {
+	tiles := make([]metrics.TileCounters, len(s.Tiles))
+	copy(tiles, s.Tiles)
+	var cl *metrics.AccessClassification
+	if s.Classification != nil {
+		cl = &metrics.AccessClassification{
+			MultiHintRO:   s.Classification.MultiHintRO,
+			SingleHintRO:  s.Classification.SingleHintRO,
+			MultiHintRW:   s.Classification.MultiHintRW,
+			SingleHintRW:  s.Classification.SingleHintRW,
+			Arguments:     s.Classification.Arguments,
+			TotalAccesses: s.Classification.TotalAccesses,
+		}
+	}
+	return &metrics.Snapshot{
+		Cycles:   s.Cycles,
+		Cores:    s.Cores,
+		NumTiles: len(s.Tiles),
+
+		CommittedTasks:  s.CommittedTasks,
+		AbortedAttempts: s.AbortedAttempts,
+		SquashedTasks:   s.SquashedTasks,
+		SpilledTasks:    s.SpilledTasks,
+		StolenTasks:     s.StolenTasks,
+		EnqueuedTasks:   s.EnqueuedTasks,
+
+		CommitCycles: s.Breakdown.Commit,
+		AbortCycles:  s.Breakdown.Abort,
+		SpillCycles:  s.Breakdown.Spill,
+		StallCycles:  s.Breakdown.Stall,
+		EmptyCycles:  s.Breakdown.Empty,
+
+		TrafficMem:   s.Traffic[0],
+		TrafficAbort: s.Traffic[1],
+		TrafficTask:  s.Traffic[2],
+		TrafficGVT:   s.Traffic[3],
+		TrafficTotal: s.TotalTraffic(),
+
+		L1Hits:         s.Cache.L1Hits,
+		L2Hits:         s.Cache.L2Hits,
+		L3Hits:         s.Cache.L3Hits,
+		MemAccesses:    s.Cache.MemAccesses,
+		RemoteForwards: s.Cache.RemoteForwards,
+		Invalidations:  s.Cache.Invalidations,
+		Writebacks:     s.Cache.Writebacks,
+
+		Comparisons: s.Comparisons,
+		GVTRounds:   s.GVTRounds,
+		Reconfigs:   uint64(s.Reconfigs),
+
+		WastedFraction:   s.WastedFraction(),
+		LoadImbalance:    s.LoadImbalance(),
+		TrafficFracMem:   s.TrafficFraction(0),
+		TrafficFracAbort: s.TrafficFraction(1),
+		TrafficFracTask:  s.TrafficFraction(2),
+		TrafficFracGVT:   s.TrafficFraction(3),
+
+		Classification: cl,
+		PerTile:        tiles,
+	}
 }
 
 // String gives a compact human-readable summary.

@@ -24,6 +24,7 @@
 package swarm
 
 import (
+	"swarmhints/internal/metrics"
 	"swarmhints/internal/sched"
 	"swarmhints/internal/sim"
 	"swarmhints/internal/task"
@@ -54,6 +55,25 @@ type CycleBreakdown = sim.CycleBreakdown
 
 // Classification is the single/multi-hint × RO/RW access profile.
 type Classification = sim.Classification
+
+// TileCounters is one tile's counter block in Stats.Tiles: cycle breakdown,
+// task lifecycle events, traffic by class, cache events, and conflict-check
+// comparisons, all attributed to the tile they occurred on.
+type TileCounters = metrics.TileCounters
+
+// Snapshot is the stable machine-readable form of a run's statistics
+// (schema swarmhints.metrics.v1), produced by Stats.Snapshot.
+type Snapshot = metrics.Snapshot
+
+// Record pairs a run's identifying labels with its snapshot.
+type Record = metrics.Record
+
+// ResultSet is an ordered collection of labeled run records with JSON and
+// CSV encoders.
+type ResultSet = metrics.ResultSet
+
+// NewResultSet returns an empty result set with the given label columns.
+func NewResultSet(fields ...string) *ResultSet { return metrics.NewResultSet(fields...) }
 
 // Scheduler kinds (Sec. II-C and VI of the paper).
 const (
