@@ -9,6 +9,7 @@
 package swarmhints_test
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"os"
@@ -26,11 +27,11 @@ func benchRunner() *exp.Runner {
 	return exp.NewRunner(o)
 }
 
-func runExperiment(b *testing.B, fn func(*exp.Runner, io.Writer) error) {
+func runExperiment(b *testing.B, fn func(context.Context, *exp.Runner, io.Writer) error) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		if err := fn(r, io.Discard); err != nil {
+		if err := fn(context.Background(), r, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -234,7 +235,7 @@ func BenchmarkSweepRunner(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		results := runner.Sweep(jobs, runner.Options{Seed: 7})
+		results := runner.Sweep(context.Background(), jobs, runner.Options{Seed: 7})
 		if err := runner.FirstErr(results); err != nil {
 			b.Fatal(err)
 		}

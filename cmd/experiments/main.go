@@ -25,11 +25,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"swarmhints/internal/cliutil"
@@ -95,6 +98,11 @@ func main() {
 	// To stderr so stdout stays byte-identical across -parallel values.
 	fmt.Fprintf(os.Stderr, "experiments: sweep runner with %d parallel workers\n", workers)
 
+	// Interrupt cancels the sweep at the next job boundary instead of
+	// killing half-written output.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// With the structured export on stdout, the human tables are discarded
 	// (the experiments still run identically — the export reads their runs).
 	tableOut := io.Writer(os.Stdout)
@@ -104,7 +112,7 @@ func main() {
 	for _, e := range todo {
 		start := time.Now()
 		fmt.Fprintf(tableOut, "=== %s: %s ===\n", e.ID, e.Title)
-		if err := e.Run(runner, tableOut); err != nil {
+		if err := e.Run(ctx, runner, tableOut); err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
 		// Wall-clock to stderr: stdout carries only experiment data, so

@@ -1,0 +1,88 @@
+// Command swarmd serves the simulation harness as a long-running HTTP/JSON
+// service (internal/service): single-point runs, batch sweeps streamed as
+// NDJSON, and the paper's experiments, sharded across a bounded worker
+// fleet with request coalescing and an LRU result cache. Responses are
+// byte-identical to what cmd/experiments -format json emits for the same
+// configuration — see the "Running swarmd" section of the README.
+//
+// Endpoints:
+//
+//	POST /v1/run              one configuration (cache-accelerated)
+//	POST /v1/sweep            a grid, streamed as NDJSON in config order
+//	GET  /v1/experiments      list the paper's experiments
+//	POST /v1/experiments/{id} regenerate one table/figure as a service
+//	GET  /healthz             liveness
+//	GET  /metrics             Prometheus text: cache, queue, run counters
+//
+// Usage:
+//
+//	swarmd -addr :8080 -workers 8 -cache 4096
+//	swarmd -addr 127.0.0.1:0        # ephemeral port, printed on startup
+//
+// SIGINT/SIGTERM starts a graceful shutdown: the listener closes, in-flight
+// requests drain for -drain, then remaining work is canceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"swarmhints/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 = ephemeral)")
+		workers  = flag.Int("workers", 0, "max simulations in flight across all requests (0 = GOMAXPROCS)")
+		cache    = flag.Int("cache", 4096, "LRU result-cache entries")
+		validate = flag.Bool("validate", true, "check each executed run against the serial reference")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Options{Workers: *workers, CacheEntries: *cache, Validate: *validate})
+	srv := &http.Server{
+		Handler: svc.Handler(),
+		// Requests inherit the service lifetime: Close cancels them all.
+		BaseContext: func(net.Listener) context.Context { return svc.Context() },
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("swarmd: %v", err)
+	}
+	log.Printf("swarmd: listening on %s (%d workers, %d cache entries)", ln.Addr(), svc.Workers(), *cache)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("swarmd: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests, and cut
+	// off stragglers by canceling the service context at the drain deadline.
+	log.Printf("swarmd: shutting down (draining up to %v)", *drain)
+	killTimer := time.AfterFunc(*drain, svc.Close)
+	defer killTimer.Stop()
+	sdCtx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sdCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("swarmd: shutdown: %v", err)
+	}
+	svc.Close()
+	fmt.Fprintln(os.Stderr, "swarmd: bye")
+}

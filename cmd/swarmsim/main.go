@@ -27,11 +27,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"swarmhints/internal/bench"
 	"swarmhints/internal/cliutil"
@@ -203,8 +206,12 @@ func main() {
 	for i, p := range points {
 		jobs[i] = makeJob(p)
 	}
+	// Interrupt cancels the sweep at the next job boundary; completed runs
+	// are still reported through OnResult, canceled ones never are.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	done := 0
-	results := runner.Sweep(jobs, runner.Options{
+	results := runner.Sweep(ctx, jobs, runner.Options{
 		Parallel: *parallel,
 		Seed:     *seed,
 		OnResult: func(res runner.Result) {

@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -31,6 +32,27 @@ type Options struct {
 	// isolated, deterministic engine, so results — and therefore every
 	// figure and table — are byte-identical for any Parallel value.
 	Parallel int
+	// Exec, when non-nil, replaces direct point execution: every cache miss
+	// is executed through it instead of RunPoint. The service layer
+	// (internal/service) injects its shared result cache, request
+	// coalescing, and global worker fleet here; results must be exactly
+	// what RunPoint(p, Scale, Seed, Validate) would return.
+	Exec func(ctx context.Context, p Point) (*swarm.Stats, error)
+	// Gate, when non-nil, bounds the bespoke simulation runs that are not
+	// cacheable Points (e.g. AblSerial's serialization-disabled runs) and
+	// therefore cannot route through Exec: each such run acquires a slot
+	// before simulating and calls the returned release after. The service
+	// layer passes its worker-fleet semaphore so even bespoke runs respect
+	// the global in-flight bound.
+	Gate func(ctx context.Context) (release func(), err error)
+}
+
+// gate acquires a bespoke-run slot when a Gate is configured.
+func (o Options) gate(ctx context.Context) (func(), error) {
+	if o.Gate == nil {
+		return func() {}, nil
+	}
+	return o.Gate(ctx)
 }
 
 // DefaultOptions returns the standard configuration for a scale.
@@ -79,22 +101,56 @@ type Point struct {
 	Profile bool
 }
 
-func (p Point) key() string {
+// Key is the canonical configuration key: it identifies one simulation
+// point within a (scale, seed) harness. The experiment cache, the export
+// sort order, and the service layer's shared result cache
+// (internal/service) all key on it.
+func (p Point) Key() string {
 	return fmt.Sprintf("%s/%v/%d/%v", p.Name, p.Kind, p.Cores, p.Profile)
+}
+
+// RunPoint executes one configuration from scratch: build the benchmark at
+// (scale, seed), run it on the paper's scaled machine, and optionally check
+// the result against the serial reference. It is the single execution path
+// behind every harness cache miss — the experiment Runner and the swarmd
+// service both call it, which is what makes their outputs byte-identical
+// for the same configuration.
+func RunPoint(p Point, scale bench.Scale, seed int64, validate bool) (*swarm.Stats, error) {
+	inst, err := bench.Build(p.Name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := swarm.ScaledConfig().WithCores(p.Cores)
+	cfg.Scheduler = p.Kind
+	cfg.Profile = p.Profile
+	cfg.MaxCycles = 20_000_000_000
+	st, err := inst.Prog.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s under %v at %d cores: %w", p.Name, p.Kind, p.Cores, err)
+	}
+	if validate {
+		if err := inst.Validate(); err != nil {
+			return nil, fmt.Errorf("%s under %v at %d cores failed validation: %w", p.Name, p.Kind, p.Cores, err)
+		}
+	}
+	return st, nil
 }
 
 // Run executes one (benchmark, scheduler, cores) point, with optional
 // access profiling, validating against the serial reference when enabled.
-func (r *Runner) Run(name string, kind swarm.SchedKind, cores int, profile bool) (*swarm.Stats, error) {
+func (r *Runner) Run(ctx context.Context, name string, kind swarm.SchedKind, cores int, profile bool) (*swarm.Stats, error) {
 	p := Point{Name: name, Kind: kind, Cores: cores, Profile: profile}
-	key := p.key()
+	key := p.Key()
 	r.mu.Lock()
 	st, ok := r.cache[key]
 	r.mu.Unlock()
 	if ok {
 		return st, nil
 	}
-	st, err := r.runPoint(p)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st, err := r.runPoint(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -109,25 +165,11 @@ func (r *Runner) Run(name string, kind swarm.SchedKind, cores int, profile bool)
 // the harness seed for the workload regardless of who calls it — the paper
 // methodology holds the input fixed across every configuration — which is
 // also what makes parallel and sequential executions byte-identical.
-func (r *Runner) runPoint(p Point) (*swarm.Stats, error) {
-	inst, err := bench.Build(p.Name, r.opt.Scale, r.opt.Seed)
-	if err != nil {
-		return nil, err
+func (r *Runner) runPoint(ctx context.Context, p Point) (*swarm.Stats, error) {
+	if r.opt.Exec != nil {
+		return r.opt.Exec(ctx, p)
 	}
-	cfg := swarm.ScaledConfig().WithCores(p.Cores)
-	cfg.Scheduler = p.Kind
-	cfg.Profile = p.Profile
-	cfg.MaxCycles = 20_000_000_000
-	st, err := inst.Prog.Run(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("%s under %v at %d cores: %w", p.Name, p.Kind, p.Cores, err)
-	}
-	if r.opt.Validate {
-		if err := inst.Validate(); err != nil {
-			return nil, fmt.Errorf("%s under %v at %d cores failed validation: %w", p.Name, p.Kind, p.Cores, err)
-		}
-	}
-	return st, nil
+	return RunPoint(p, r.opt.Scale, r.opt.Seed, r.opt.Validate)
 }
 
 // Prime executes every not-yet-cached point concurrently through the sweep
@@ -136,12 +178,12 @@ func (r *Runner) runPoint(p Point) (*swarm.Stats, error) {
 // loops hit the cache and only the independent simulations fan out across
 // host cores. Duplicated points are run once; the first failure (by grid
 // order, so deterministically) is returned.
-func (r *Runner) Prime(points []Point) error {
+func (r *Runner) Prime(ctx context.Context, points []Point) error {
 	seen := make(map[string]bool, len(points))
 	var todo []Point
 	r.mu.Lock()
 	for _, p := range points {
-		key := p.key()
+		key := p.Key()
 		if seen[key] || r.cache[key] != nil {
 			continue
 		}
@@ -156,18 +198,18 @@ func (r *Runner) Prime(points []Point) error {
 	for i, p := range todo {
 		p := p
 		jobs[i] = runner.Job{
-			Name: p.key(),
+			Name: p.Key(),
 			// The derived sweep seed is ignored: experiment points fix the
 			// workload seed (see runPoint), so priming changes when runs
 			// happen, never what they compute.
-			Run: func(int64) (*swarm.Stats, error) { return r.runPoint(p) },
+			Run: func(int64) (*swarm.Stats, error) { return r.runPoint(ctx, p) },
 		}
 	}
-	results := runner.Sweep(jobs, runner.Options{Parallel: r.opt.Parallel, Seed: r.opt.Seed})
+	results := runner.Sweep(ctx, jobs, runner.Options{Parallel: r.opt.Parallel, Seed: r.opt.Seed})
 	r.mu.Lock()
 	for i, res := range results {
 		if res.Err == nil && res.Stats != nil {
-			key := todo[i].key()
+			key := todo[i].Key()
 			r.cache[key] = res.Stats
 			r.pts[key] = todo[i]
 		}
@@ -177,7 +219,13 @@ func (r *Runner) Prime(points []Point) error {
 }
 
 // PrimeGrid is Prime over the cross product names × kinds × cores.
-func (r *Runner) PrimeGrid(names []string, kinds []swarm.SchedKind, cores []int, profile bool) error {
+func (r *Runner) PrimeGrid(ctx context.Context, names []string, kinds []swarm.SchedKind, cores []int, profile bool) error {
+	return r.Prime(ctx, Grid(names, kinds, cores, profile))
+}
+
+// Grid enumerates the cross product names × kinds × cores as configuration
+// points, in the deterministic nesting order the sweep tools use.
+func Grid(names []string, kinds []swarm.SchedKind, cores []int, profile bool) []Point {
 	var points []Point
 	for _, n := range names {
 		for _, k := range kinds {
@@ -186,24 +234,30 @@ func (r *Runner) PrimeGrid(names []string, kinds []swarm.SchedKind, cores []int,
 			}
 		}
 	}
-	return r.Prime(points)
+	return points
 }
 
 // ExportFields is the label column order of Export's result sets.
 var ExportFields = []string{"bench", "sched", "cores", "profile", "scale", "seed"}
 
-// Export returns every simulation point the runner has executed so far as a
-// machine-readable result set: per-tile and aggregate statistics labeled by
-// (bench, sched, cores, profile, scale, seed), sorted by configuration.
-// Because records come from the deterministic result cache and are sorted,
-// the encoded bytes are identical for every Options.Parallel value.
-func (r *Runner) Export() *metrics.ResultSet {
-	r.mu.Lock()
-	points := make([]Point, 0, len(r.pts))
-	for _, p := range r.pts {
-		points = append(points, p)
+// DedupSorted returns the distinct configurations among points, in the
+// canonical export order. The input is not modified.
+func DedupSorted(points []Point) []Point {
+	uniq := make([]Point, 0, len(points))
+	seen := make(map[string]bool, len(points))
+	for _, p := range points {
+		if key := p.Key(); !seen[key] {
+			seen[key] = true
+			uniq = append(uniq, p)
+		}
 	}
-	r.mu.Unlock()
+	SortPoints(uniq)
+	return uniq
+}
+
+// SortPoints orders configurations into the canonical export order:
+// by benchmark, scheduler, cores, then profile flag.
+func SortPoints(points []Point) {
 	sort.Slice(points, func(i, j int) bool {
 		a, b := points[i], points[j]
 		if a.Name != b.Name {
@@ -217,44 +271,78 @@ func (r *Runner) Export() *metrics.ResultSet {
 		}
 		return !a.Profile && b.Profile
 	})
+}
+
+// PointLabels returns the canonical export labels of a configuration point
+// within a (scale, seed) harness, keyed by ExportFields.
+func PointLabels(p Point, scale bench.Scale, seed int64) map[string]string {
+	return map[string]string{
+		"bench":   p.Name,
+		"sched":   p.Kind.String(),
+		"cores":   strconv.Itoa(p.Cores),
+		"profile": strconv.FormatBool(p.Profile),
+		"scale":   scale.String(),
+		"seed":    strconv.FormatInt(seed, 10),
+	}
+}
+
+// ExportSet assembles the canonical machine-readable result set for a set
+// of configuration points: deduplicated, sorted by configuration, labeled
+// by ExportFields. stats supplies each point's statistics; points it
+// returns nil for are skipped. Both the experiment Runner's Export and the
+// swarmd service's sweep responses go through this one assembler, so equal
+// point sets encode to identical bytes no matter who served them.
+func ExportSet(points []Point, scale bench.Scale, seed int64, stats func(Point) *swarm.Stats) *metrics.ResultSet {
+	uniq := DedupSorted(points)
 	rs := metrics.NewResultSet(ExportFields...)
-	for _, p := range points {
-		r.mu.Lock()
-		st := r.cache[p.key()]
-		r.mu.Unlock()
+	for _, p := range uniq {
+		st := stats(p)
 		if st == nil {
 			continue
 		}
-		rs.Append(map[string]string{
-			"bench":   p.Name,
-			"sched":   p.Kind.String(),
-			"cores":   strconv.Itoa(p.Cores),
-			"profile": strconv.FormatBool(p.Profile),
-			"scale":   r.opt.Scale.String(),
-			"seed":    strconv.FormatInt(r.opt.Seed, 10),
-		}, st.Snapshot())
+		rs.Append(PointLabels(p, scale, seed), st.Snapshot())
 	}
 	return rs
 }
 
+// Export returns every simulation point the runner has executed so far as a
+// machine-readable result set: per-tile and aggregate statistics labeled by
+// (bench, sched, cores, profile, scale, seed), sorted by configuration.
+// Because records come from the deterministic result cache and are sorted,
+// the encoded bytes are identical for every Options.Parallel value.
+func (r *Runner) Export() *metrics.ResultSet {
+	r.mu.Lock()
+	points := make([]Point, 0, len(r.pts))
+	for _, p := range r.pts {
+		points = append(points, p)
+	}
+	r.mu.Unlock()
+	return ExportSet(points, r.opt.Scale, r.opt.Seed, func(p Point) *swarm.Stats {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.cache[p.Key()]
+	})
+}
+
 // Speedup returns cycles(1 core) / cycles(cores) for a benchmark/scheduler.
-func (r *Runner) Speedup(name string, kind swarm.SchedKind, cores int) (float64, error) {
-	base, err := r.Run(name, swarm.Random, 1, false) // all schedulers equal at 1 core
+func (r *Runner) Speedup(ctx context.Context, name string, kind swarm.SchedKind, cores int) (float64, error) {
+	base, err := r.Run(ctx, name, swarm.Random, 1, false) // all schedulers equal at 1 core
 	if err != nil {
 		return 0, err
 	}
-	st, err := r.Run(name, kind, cores, false)
+	st, err := r.Run(ctx, name, kind, cores, false)
 	if err != nil {
 		return 0, err
 	}
 	return float64(base.Cycles) / float64(st.Cycles), nil
 }
 
-// Experiment is one table/figure regenerator.
+// Experiment is one table/figure regenerator. Run respects ctx: cancellation
+// stops priming at the next job boundary and aborts the experiment.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(r *Runner, w io.Writer) error
+	Run   func(ctx context.Context, r *Runner, w io.Writer) error
 }
 
 // Registry lists every experiment in paper order.

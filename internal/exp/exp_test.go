@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -28,11 +29,11 @@ func TestFindRegistry(t *testing.T) {
 
 func TestRunnerCaches(t *testing.T) {
 	r := tinyRunner()
-	a, err := r.Run("sssp", swarm.Hints, 4, false)
+	a, err := r.Run(context.Background(), "sssp", swarm.Hints, 4, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.Run("sssp", swarm.Hints, 4, false)
+	b, err := r.Run(context.Background(), "sssp", swarm.Hints, 4, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestRunnerCaches(t *testing.T) {
 
 func TestSpeedupBaseline(t *testing.T) {
 	r := tinyRunner()
-	s, err := r.Speedup("sssp", swarm.Random, 1)
+	s, err := r.Speedup(context.Background(), "sssp", swarm.Random, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestSpeedupBaseline(t *testing.T) {
 
 func TestTable1Output(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Table1(tinyRunner(), &buf); err != nil {
+	if err := Table1(context.Background(), tinyRunner(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -70,7 +71,7 @@ func TestTable1Output(t *testing.T) {
 
 func TestFig2Runs(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig2(tinyRunner(), &buf); err != nil {
+	if err := Fig2(context.Background(), tinyRunner(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "LBHints") || !strings.Contains(buf.String(), "commit=") {
@@ -81,11 +82,11 @@ func TestFig2Runs(t *testing.T) {
 func TestFig3Fractions(t *testing.T) {
 	var buf bytes.Buffer
 	r := tinyRunner()
-	if err := Fig3(r, &buf); err != nil {
+	if err := Fig3(context.Background(), r, &buf); err != nil {
 		t.Fatal(err)
 	}
 	// All nine benchmarks profiled, each row's fractions summing to ~1.
-	st, err := r.Run("des", swarm.Hints, 4, true)
+	st, err := r.Run(context.Background(), "des", swarm.Hints, 4, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,11 +107,11 @@ func TestFig6FGTallerBars(t *testing.T) {
 	// FG versions perform more accesses, so their normalized bar height
 	// must exceed ~1 (Fig. 6: +8% for sssp up to 4.6x for color).
 	r := tinyRunner()
-	cg, err := r.Run("color", swarm.Hints, 4, true)
+	cg, err := r.Run(context.Background(), "color", swarm.Hints, 4, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fg, err := r.Run("color-fg", swarm.Hints, 4, true)
+	fg, err := r.Run(context.Background(), "color-fg", swarm.Hints, 4, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestLBProxyRuns(t *testing.T) {
 	var buf bytes.Buffer
 	r := tinyRunner()
 	r.opt.MaxCores = 16
-	if err := LBProxy(r, &buf); err != nil {
+	if err := LBProxy(context.Background(), r, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "LBIdleTasks") {
@@ -135,7 +136,7 @@ func TestSummaryRuns(t *testing.T) {
 	var buf bytes.Buffer
 	r := tinyRunner()
 	r.opt.MaxCores = 16
-	if err := Summary(r, &buf); err != nil {
+	if err := Summary(context.Background(), r, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -150,7 +151,7 @@ func TestValidationCatchesRuns(t *testing.T) {
 	// With Validate on (the default), every cached run has been checked
 	// against the serial reference; a bad benchmark name must error.
 	r := tinyRunner()
-	if _, err := r.Run("bogus", swarm.Random, 1, false); err == nil {
+	if _, err := r.Run(context.Background(), "bogus", swarm.Random, 1, false); err == nil {
 		t.Fatal("unknown benchmark must error")
 	}
 }
@@ -171,7 +172,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 			o.Cores = []int{1, 4}
 			o.Parallel = parallel
 			var buf bytes.Buffer
-			if err := e.Run(NewRunner(o), &buf); err != nil {
+			if err := e.Run(context.Background(), NewRunner(o), &buf); err != nil {
 				t.Fatalf("%s with Parallel=%d: %v", id, parallel, err)
 			}
 			outputs = append(outputs, buf.String())
@@ -190,7 +191,7 @@ func TestPrimeFailureIsDeterministic(t *testing.T) {
 		o := DefaultOptions(bench.Tiny)
 		o.Parallel = parallel
 		r := NewRunner(o)
-		err := r.Prime([]Point{
+		err := r.Prime(context.Background(), []Point{
 			{Name: "no-such-bench", Kind: swarm.Hints, Cores: 4},
 			{Name: "also-missing", Kind: swarm.Hints, Cores: 4},
 		})

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -25,7 +26,7 @@ func exportJSON(t *testing.T, id string, parallel int) []byte {
 	o.Parallel = parallel
 	r := NewRunner(o)
 	var discard bytes.Buffer
-	if err := e.Run(r, &discard); err != nil {
+	if err := e.Run(context.Background(), r, &discard); err != nil {
 		t.Fatalf("%s with Parallel=%d: %v", id, parallel, err)
 	}
 	var buf bytes.Buffer
@@ -83,7 +84,7 @@ func TestExportLabelsComplete(t *testing.T) {
 	o := DefaultOptions(bench.Tiny)
 	o.Cores = []int{1, 4}
 	r := NewRunner(o)
-	if err := Fig2(r, &bytes.Buffer{}); err != nil {
+	if err := Fig2(context.Background(), r, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	rs := r.Export()

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -22,8 +23,8 @@ func plusCores(base []int, extra ...int) []int {
 
 // Table1 reproduces Table I: per-benchmark 1-core run-time, committed
 // tasks, task-function count, and hint pattern.
-func Table1(r *Runner, w io.Writer) error {
-	if err := r.PrimeGrid(bench.Names(), []swarm.SchedKind{swarm.Random}, []int{1}, false); err != nil {
+func Table1(ctx context.Context, r *Runner, w io.Writer) error {
+	if err := r.PrimeGrid(ctx, bench.Names(), []swarm.SchedKind{swarm.Random}, []int{1}, false); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "%-8s %14s %10s %6s  %s\n", "bench", "1c cycles", "tasks", "funcs", "hint pattern")
@@ -32,7 +33,7 @@ func Table1(r *Runner, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		st, err := r.Run(name, swarm.Random, 1, false)
+		st, err := r.Run(ctx, name, swarm.Random, 1, false)
 		if err != nil {
 			return err
 		}
@@ -44,8 +45,8 @@ func Table1(r *Runner, w io.Writer) error {
 
 // Fig2 reproduces Fig. 2: des speedups for all four schedulers across the
 // core sweep (a) and the cycle breakdown at max cores relative to Random (b).
-func Fig2(r *Runner, w io.Writer) error {
-	if err := r.PrimeGrid([]string{"des"}, rshlKinds, plusCores(r.opt.Cores, 1, r.opt.maxCores()), false); err != nil {
+func Fig2(ctx context.Context, r *Runner, w io.Writer) error {
+	if err := r.PrimeGrid(ctx, []string{"des"}, rshlKinds, plusCores(r.opt.Cores, 1, r.opt.maxCores()), false); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "(a) des speedup over 1-core\n%8s", "cores")
@@ -56,7 +57,7 @@ func Fig2(r *Runner, w io.Writer) error {
 	for _, cores := range r.opt.Cores {
 		fmt.Fprintf(w, "%8d", cores)
 		for _, k := range rshlKinds {
-			s, err := r.Speedup("des", k, cores)
+			s, err := r.Speedup(ctx, "des", k, cores)
 			if err != nil {
 				return err
 			}
@@ -65,14 +66,14 @@ func Fig2(r *Runner, w io.Writer) error {
 		fmt.Fprintln(w)
 	}
 	mc := r.opt.maxCores()
-	ref, err := r.Run("des", swarm.Random, mc, false)
+	ref, err := r.Run(ctx, "des", swarm.Random, mc, false)
 	if err != nil {
 		return err
 	}
 	refTotal := float64(ref.Breakdown.Total())
 	fmt.Fprintf(w, "(b) des cycle breakdown at %d cores (relative to Random)\n", mc)
 	for _, k := range rshlKinds {
-		st, err := r.Run("des", k, mc, false)
+		st, err := r.Run(ctx, "des", k, mc, false)
 		if err != nil {
 			return err
 		}
@@ -83,7 +84,7 @@ func Fig2(r *Runner, w io.Writer) error {
 
 // classificationRows prints the Fig. 3/6 stacked-bar data for a benchmark
 // list, normalized to a baseline's total accesses (itself for Fig. 3).
-func classificationRows(r *Runner, w io.Writer, names []string, normTo map[string]string) error {
+func classificationRows(ctx context.Context, r *Runner, w io.Writer, names []string, normTo map[string]string) error {
 	// Baselines appended in names order (not map order) so the prime grid —
 	// and with it which failure FirstErr reports — is deterministic.
 	all := append([]string{}, names...)
@@ -92,20 +93,20 @@ func classificationRows(r *Runner, w io.Writer, names []string, normTo map[strin
 			all = append(all, base)
 		}
 	}
-	if err := r.PrimeGrid(all, []swarm.SchedKind{swarm.Hints}, []int{4}, true); err != nil {
+	if err := r.PrimeGrid(ctx, all, []swarm.SchedKind{swarm.Hints}, []int{4}, true); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "%-9s %9s %9s %9s %9s %9s %7s\n",
 		"bench", "multiRO", "singleRO", "multiRW", "singleRW", "args", "height")
 	for _, name := range names {
-		st, err := r.Run(name, swarm.Hints, 4, true)
+		st, err := r.Run(ctx, name, swarm.Hints, 4, true)
 		if err != nil {
 			return err
 		}
 		cl := st.Classification
 		height := 1.0
 		if base, ok := normTo[name]; ok && base != name {
-			bst, err := r.Run(base, swarm.Hints, 4, true)
+			bst, err := r.Run(ctx, base, swarm.Hints, 4, true)
 			if err != nil {
 				return err
 			}
@@ -119,14 +120,14 @@ func classificationRows(r *Runner, w io.Writer, names []string, normTo map[strin
 }
 
 // Fig3 reproduces Fig. 3: access classification for the nine CG benchmarks.
-func Fig3(r *Runner, w io.Writer) error {
-	return classificationRows(r, w, bench.Names(), nil)
+func Fig3(ctx context.Context, r *Runner, w io.Writer) error {
+	return classificationRows(ctx, r, w, bench.Names(), nil)
 }
 
 // Fig4 reproduces Fig. 4: Random/Stealing/Hints speedups for all nine
 // benchmarks across the core sweep.
-func Fig4(r *Runner, w io.Writer) error {
-	if err := r.PrimeGrid(bench.Names(), rshKinds, plusCores(r.opt.Cores, 1), false); err != nil {
+func Fig4(ctx context.Context, r *Runner, w io.Writer) error {
+	if err := r.PrimeGrid(ctx, bench.Names(), rshKinds, plusCores(r.opt.Cores, 1), false); err != nil {
 		return err
 	}
 	for _, name := range bench.Names() {
@@ -138,7 +139,7 @@ func Fig4(r *Runner, w io.Writer) error {
 		for _, cores := range r.opt.Cores {
 			fmt.Fprintf(w, "%8d", cores)
 			for _, k := range rshKinds {
-				s, err := r.Speedup(name, k, cores)
+				s, err := r.Speedup(ctx, name, k, cores)
 				if err != nil {
 					return err
 				}
@@ -152,11 +153,11 @@ func Fig4(r *Runner, w io.Writer) error {
 
 // Fig5 reproduces Fig. 5: cycle breakdown (a) and NoC traffic breakdown (b)
 // at max cores for Random/Stealing/Hints, normalized to Random.
-func Fig5(r *Runner, w io.Writer) error {
-	return breakdownFigure(r, w, bench.Names(), rshKinds, nil)
+func Fig5(ctx context.Context, r *Runner, w io.Writer) error {
+	return breakdownFigure(ctx, r, w, bench.Names(), rshKinds, nil)
 }
 
-func breakdownFigure(r *Runner, w io.Writer, names []string, kinds []swarm.SchedKind, normTo map[string]string) error {
+func breakdownFigure(ctx context.Context, r *Runner, w io.Writer, names []string, kinds []swarm.SchedKind, normTo map[string]string) error {
 	mc := r.opt.maxCores()
 	// Baselines appended in names order (not map order) so the prime grid —
 	// and with it which failure FirstErr reports — is deterministic.
@@ -166,7 +167,7 @@ func breakdownFigure(r *Runner, w io.Writer, names []string, kinds []swarm.Sched
 			all = append(all, base)
 		}
 	}
-	if err := r.PrimeGrid(all, append([]swarm.SchedKind{swarm.Random}, kinds...), []int{mc}, false); err != nil {
+	if err := r.PrimeGrid(ctx, all, append([]swarm.SchedKind{swarm.Random}, kinds...), []int{mc}, false); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "(a) cycle breakdowns at %d cores (relative to Random)\n", mc)
@@ -175,13 +176,13 @@ func breakdownFigure(r *Runner, w io.Writer, names []string, kinds []swarm.Sched
 		if n, ok := normTo[name]; ok {
 			refName = n
 		}
-		ref, err := r.Run(refName, swarm.Random, mc, false)
+		ref, err := r.Run(ctx, refName, swarm.Random, mc, false)
 		if err != nil {
 			return err
 		}
 		refTotal := float64(ref.Breakdown.Total())
 		for _, k := range kinds {
-			st, err := r.Run(name, k, mc, false)
+			st, err := r.Run(ctx, name, k, mc, false)
 			if err != nil {
 				return err
 			}
@@ -194,13 +195,13 @@ func breakdownFigure(r *Runner, w io.Writer, names []string, kinds []swarm.Sched
 		if n, ok := normTo[name]; ok {
 			refName = n
 		}
-		ref, err := r.Run(refName, swarm.Random, mc, false)
+		ref, err := r.Run(ctx, refName, swarm.Random, mc, false)
 		if err != nil {
 			return err
 		}
 		refTotal := sumTraffic(ref.Traffic)
 		for _, k := range kinds {
-			st, err := r.Run(name, k, mc, false)
+			st, err := r.Run(ctx, name, k, mc, false)
 			if err != nil {
 				return err
 			}
@@ -212,24 +213,24 @@ func breakdownFigure(r *Runner, w io.Writer, names []string, kinds []swarm.Sched
 
 // Fig6 reproduces Fig. 6: CG vs FG access classification, FG bars
 // normalized to the CG version's total accesses.
-func Fig6(r *Runner, w io.Writer) error {
+func Fig6(ctx context.Context, r *Runner, w io.Writer) error {
 	var names []string
 	normTo := map[string]string{}
 	for _, n := range bench.FGNames() {
 		names = append(names, n, n+"-fg")
 		normTo[n+"-fg"] = n
 	}
-	return classificationRows(r, w, names, normTo)
+	return classificationRows(ctx, r, w, names, normTo)
 }
 
 // Fig7 reproduces Fig. 7: FG and CG speedups under the three schedulers,
 // relative to the CG version at 1 core.
-func Fig7(r *Runner, w io.Writer) error {
+func Fig7(ctx context.Context, r *Runner, w io.Writer) error {
 	var names []string
 	for _, n := range bench.FGNames() {
 		names = append(names, n, n+"-fg")
 	}
-	if err := r.PrimeGrid(names, rshKinds, plusCores(r.opt.Cores, 1), false); err != nil {
+	if err := r.PrimeGrid(ctx, names, rshKinds, plusCores(r.opt.Cores, 1), false); err != nil {
 		return err
 	}
 	for _, name := range bench.FGNames() {
@@ -240,7 +241,7 @@ func Fig7(r *Runner, w io.Writer) error {
 			}
 		}
 		fmt.Fprintln(w)
-		base, err := r.Run(name, swarm.Random, 1, false) // CG 1-core baseline
+		base, err := r.Run(ctx, name, swarm.Random, 1, false) // CG 1-core baseline
 		if err != nil {
 			return err
 		}
@@ -248,7 +249,7 @@ func Fig7(r *Runner, w io.Writer) error {
 			fmt.Fprintf(w, "%8d", cores)
 			for _, variant := range []string{"", "-fg"} {
 				for _, k := range rshKinds {
-					st, err := r.Run(name+variant, k, cores, false)
+					st, err := r.Run(ctx, name+variant, k, cores, false)
 					if err != nil {
 						return err
 					}
@@ -263,19 +264,19 @@ func Fig7(r *Runner, w io.Writer) error {
 
 // Fig8 reproduces Fig. 8: FG cycle and traffic breakdowns at max cores,
 // normalized to the CG version under Random.
-func Fig8(r *Runner, w io.Writer) error {
+func Fig8(ctx context.Context, r *Runner, w io.Writer) error {
 	var names []string
 	normTo := map[string]string{}
 	for _, n := range bench.FGNames() {
 		names = append(names, n+"-fg")
 		normTo[n+"-fg"] = n
 	}
-	return breakdownFigure(r, w, names, rshKinds, normTo)
+	return breakdownFigure(ctx, r, w, names, rshKinds, normTo)
 }
 
 // bestVariant returns the better-scaling variant (CG or FG) for a scheduler
 // at max cores, as Fig. 10 reports the best-performing version per scheme.
-func (r *Runner) bestVariant(name string, k swarm.SchedKind) (string, error) {
+func (r *Runner) bestVariant(ctx context.Context, name string, k swarm.SchedKind) (string, error) {
 	hasFG := false
 	for _, n := range bench.FGNames() {
 		if n == name {
@@ -286,11 +287,11 @@ func (r *Runner) bestVariant(name string, k swarm.SchedKind) (string, error) {
 		return name, nil
 	}
 	mc := r.opt.maxCores()
-	cg, err := r.Run(name, k, mc, false)
+	cg, err := r.Run(ctx, name, k, mc, false)
 	if err != nil {
 		return "", err
 	}
-	fg, err := r.Run(name+"-fg", k, mc, false)
+	fg, err := r.Run(ctx, name+"-fg", k, mc, false)
 	if err != nil {
 		return "", err
 	}
@@ -302,16 +303,16 @@ func (r *Runner) bestVariant(name string, k swarm.SchedKind) (string, error) {
 
 // Fig10 reproduces Fig. 10: all four schedulers on all nine benchmarks,
 // using the best-performing grain per scheme.
-func Fig10(r *Runner, w io.Writer) error {
+func Fig10(ctx context.Context, r *Runner, w io.Writer) error {
 	// Phase 1: the max-core probes bestVariant compares, plus baselines.
 	probeNames := append([]string{}, bench.Names()...)
 	for _, n := range bench.FGNames() {
 		probeNames = append(probeNames, n+"-fg")
 	}
-	if err := r.PrimeGrid(probeNames, rshlKinds, []int{r.opt.maxCores()}, false); err != nil {
+	if err := r.PrimeGrid(ctx, probeNames, rshlKinds, []int{r.opt.maxCores()}, false); err != nil {
 		return err
 	}
-	if err := r.PrimeGrid(bench.Names(), []swarm.SchedKind{swarm.Random}, []int{1}, false); err != nil {
+	if err := r.PrimeGrid(ctx, bench.Names(), []swarm.SchedKind{swarm.Random}, []int{1}, false); err != nil {
 		return err
 	}
 	// Phase 2: now that the winning grain per (benchmark, scheme) is known,
@@ -319,7 +320,7 @@ func Fig10(r *Runner, w io.Writer) error {
 	var points []Point
 	for _, name := range bench.Names() {
 		for _, k := range rshlKinds {
-			variant, err := r.bestVariant(name, k)
+			variant, err := r.bestVariant(ctx, name, k)
 			if err != nil {
 				return err
 			}
@@ -328,7 +329,7 @@ func Fig10(r *Runner, w io.Writer) error {
 			}
 		}
 	}
-	if err := r.Prime(points); err != nil {
+	if err := r.Prime(ctx, points); err != nil {
 		return err
 	}
 	for _, name := range bench.Names() {
@@ -337,18 +338,18 @@ func Fig10(r *Runner, w io.Writer) error {
 			fmt.Fprintf(w, " %10v", k)
 		}
 		fmt.Fprintln(w)
-		base, err := r.Run(name, swarm.Random, 1, false)
+		base, err := r.Run(ctx, name, swarm.Random, 1, false)
 		if err != nil {
 			return err
 		}
 		for _, cores := range r.opt.Cores {
 			fmt.Fprintf(w, "%8d", cores)
 			for _, k := range rshlKinds {
-				variant, err := r.bestVariant(name, k)
+				variant, err := r.bestVariant(ctx, name, k)
 				if err != nil {
 					return err
 				}
-				st, err := r.Run(variant, k, cores, false)
+				st, err := r.Run(ctx, variant, k, cores, false)
 				if err != nil {
 					return err
 				}
@@ -362,20 +363,20 @@ func Fig10(r *Runner, w io.Writer) error {
 
 // Fig11 reproduces Fig. 11: cycle breakdowns for des, nocsim, silo, kmeans
 // under all four schedulers at max cores.
-func Fig11(r *Runner, w io.Writer) error {
+func Fig11(ctx context.Context, r *Runner, w io.Writer) error {
 	mc := r.opt.maxCores()
-	if err := r.PrimeGrid([]string{"des", "nocsim", "silo", "kmeans"}, rshlKinds, []int{mc}, false); err != nil {
+	if err := r.PrimeGrid(ctx, []string{"des", "nocsim", "silo", "kmeans"}, rshlKinds, []int{mc}, false); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "cycle breakdowns at %d cores (relative to Random)\n", mc)
 	for _, name := range []string{"des", "nocsim", "silo", "kmeans"} {
-		ref, err := r.Run(name, swarm.Random, mc, false)
+		ref, err := r.Run(ctx, name, swarm.Random, mc, false)
 		if err != nil {
 			return err
 		}
 		refTotal := float64(ref.Breakdown.Total())
 		for _, k := range rshlKinds {
-			st, err := r.Run(name, k, mc, false)
+			st, err := r.Run(ctx, name, k, mc, false)
 			if err != nil {
 				return err
 			}
@@ -387,7 +388,7 @@ func Fig11(r *Runner, w io.Writer) error {
 
 // LBProxy reproduces the Sec. VI-A ablation: balancing committed cycles
 // (LBHints) versus balancing idle-task counts (the worse proxy).
-func LBProxy(r *Runner, w io.Writer) error {
+func LBProxy(ctx context.Context, r *Runner, w io.Writer) error {
 	mc := r.opt.maxCores()
 	var points []Point
 	for _, name := range []string{"des", "nocsim", "silo", "kmeans"} {
@@ -396,20 +397,20 @@ func LBProxy(r *Runner, w io.Writer) error {
 			points = append(points, Point{Name: name, Kind: k, Cores: mc})
 		}
 	}
-	if err := r.Prime(points); err != nil {
+	if err := r.Prime(ctx, points); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "%-9s %12s %12s %12s  %s\n", "bench", "Hints", "LBHints", "LBIdleTasks", "best-signal")
 	for _, name := range []string{"des", "nocsim", "silo", "kmeans"} {
-		h, err := r.Speedup(name, swarm.Hints, mc)
+		h, err := r.Speedup(ctx, name, swarm.Hints, mc)
 		if err != nil {
 			return err
 		}
-		lb, err := r.Speedup(name, swarm.LBHints, mc)
+		lb, err := r.Speedup(ctx, name, swarm.LBHints, mc)
 		if err != nil {
 			return err
 		}
-		proxy, err := r.Speedup(name, swarm.LBIdleProxy, mc)
+		proxy, err := r.Speedup(ctx, name, swarm.LBIdleProxy, mc)
 		if err != nil {
 			return err
 		}
@@ -427,10 +428,10 @@ func LBProxy(r *Runner, w io.Writer) error {
 // serialization (Sec. III-B). This experiment runs Hints with serialization
 // disabled to separate the two mechanisms on the contention-heavy
 // benchmarks.
-func AblSerial(r *Runner, w io.Writer) error {
+func AblSerial(ctx context.Context, r *Runner, w io.Writer) error {
 	mc := r.opt.maxCores()
 	names := []string{"des", "silo", "kmeans", "genome"}
-	if err := r.PrimeGrid(names, []swarm.SchedKind{swarm.Hints}, []int{mc}, false); err != nil {
+	if err := r.PrimeGrid(ctx, names, []swarm.SchedKind{swarm.Hints}, []int{mc}, false); err != nil {
 		return err
 	}
 	// The serialization-disabled runs bypass the cache (they are not a
@@ -441,6 +442,11 @@ func AblSerial(r *Runner, w io.Writer) error {
 		jobs[i] = runner.Job{
 			Name: name + "/noser",
 			Run: func(int64) (*swarm.Stats, error) {
+				release, err := r.opt.gate(ctx)
+				if err != nil {
+					return nil, err
+				}
+				defer release()
 				inst, err := bench.Build(name, r.opt.Scale, r.opt.Seed)
 				if err != nil {
 					return nil, err
@@ -461,13 +467,13 @@ func AblSerial(r *Runner, w io.Writer) error {
 			},
 		}
 	}
-	results := runner.Sweep(jobs, runner.Options{Parallel: r.opt.Parallel, Seed: r.opt.Seed})
+	results := runner.Sweep(ctx, jobs, runner.Options{Parallel: r.opt.Parallel, Seed: r.opt.Seed})
 	if err := runner.FirstErr(results); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "%-9s %14s %14s %12s %12s\n", "bench", "Hints cycles", "NoSer cycles", "Hints aborts", "NoSer aborts")
 	for i, name := range names {
-		h, err := r.Run(name, swarm.Hints, mc, false)
+		h, err := r.Run(ctx, name, swarm.Hints, mc, false)
 		if err != nil {
 			return err
 		}
@@ -481,7 +487,7 @@ func AblSerial(r *Runner, w io.Writer) error {
 // Summary reproduces the aggregate Sec. VI-B numbers: gmean speedups for
 // Random, Hints, Hints+FG, LBHints at max cores, plus the wasted-work and
 // traffic reduction factors from the abstract.
-func Summary(r *Runner, w io.Writer) error {
+func Summary(ctx context.Context, r *Runner, w io.Writer) error {
 	mc := r.opt.maxCores()
 	// Probe grains at max cores, then prime the baselines the speedups use.
 	var fgNames []string
@@ -502,46 +508,46 @@ func Summary(r *Runner, w io.Writer) error {
 			Point{Name: n, Kind: swarm.Hints, Cores: mc},
 			Point{Name: n, Kind: swarm.LBHints, Cores: mc})
 	}
-	if err := r.Prime(points); err != nil {
+	if err := r.Prime(ctx, points); err != nil {
 		return err
 	}
 	var sR, sH, sHF, sLB []float64
 	var abortR, abortH, trafR, trafH float64
 	for _, name := range bench.Names() {
-		v, err := r.Speedup(name, swarm.Random, mc)
+		v, err := r.Speedup(ctx, name, swarm.Random, mc)
 		if err != nil {
 			return err
 		}
 		sR = append(sR, v)
-		v, err = r.Speedup(name, swarm.Hints, mc)
+		v, err = r.Speedup(ctx, name, swarm.Hints, mc)
 		if err != nil {
 			return err
 		}
 		sH = append(sH, v)
-		variant, err := r.bestVariant(name, swarm.Hints)
+		variant, err := r.bestVariant(ctx, name, swarm.Hints)
 		if err != nil {
 			return err
 		}
-		v, err = r.Speedup(variant, swarm.Hints, mc)
+		v, err = r.Speedup(ctx, variant, swarm.Hints, mc)
 		if err != nil {
 			return err
 		}
 		sHF = append(sHF, v)
-		variantLB, err := r.bestVariant(name, swarm.LBHints)
+		variantLB, err := r.bestVariant(ctx, name, swarm.LBHints)
 		if err != nil {
 			return err
 		}
-		v, err = r.Speedup(variantLB, swarm.LBHints, mc)
+		v, err = r.Speedup(ctx, variantLB, swarm.LBHints, mc)
 		if err != nil {
 			return err
 		}
 		sLB = append(sLB, v)
 
-		rst, err := r.Run(name, swarm.Random, mc, false)
+		rst, err := r.Run(ctx, name, swarm.Random, mc, false)
 		if err != nil {
 			return err
 		}
-		hst, err := r.Run(variant, swarm.Hints, mc, false)
+		hst, err := r.Run(ctx, variant, swarm.Hints, mc, false)
 		if err != nil {
 			return err
 		}

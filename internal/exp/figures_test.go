@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -19,7 +20,7 @@ func microRunner() *Runner {
 
 func TestFig4AllBenchmarksListed(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig4(microRunner(), &buf); err != nil {
+	if err := Fig4(context.Background(), microRunner(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -35,7 +36,7 @@ func TestFig4AllBenchmarksListed(t *testing.T) {
 
 func TestFig5BreakdownsNormalized(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig5(microRunner(), &buf); err != nil {
+	if err := Fig5(context.Background(), microRunner(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -53,7 +54,7 @@ func TestFig5BreakdownsNormalized(t *testing.T) {
 
 func TestFig7ReportsBothGrains(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig7(microRunner(), &buf); err != nil {
+	if err := Fig7(context.Background(), microRunner(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -64,7 +65,7 @@ func TestFig7ReportsBothGrains(t *testing.T) {
 
 func TestFig8FGRows(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig8(microRunner(), &buf); err != nil {
+	if err := Fig8(context.Background(), microRunner(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	for _, n := range bench.FGNames() {
@@ -76,7 +77,7 @@ func TestFig8FGRows(t *testing.T) {
 
 func TestFig10IncludesLB(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig10(microRunner(), &buf); err != nil {
+	if err := Fig10(context.Background(), microRunner(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "LBHints") {
@@ -86,7 +87,7 @@ func TestFig10IncludesLB(t *testing.T) {
 
 func TestFig11FourBenchmarks(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig11(microRunner(), &buf); err != nil {
+	if err := Fig11(context.Background(), microRunner(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	for _, n := range []string{"des", "nocsim", "silo", "kmeans"} {
@@ -98,7 +99,7 @@ func TestFig11FourBenchmarks(t *testing.T) {
 
 func TestBestVariantPrefersFaster(t *testing.T) {
 	r := microRunner()
-	v, err := r.bestVariant("sssp", 2 /* Hints */)
+	v, err := r.bestVariant(context.Background(), "sssp", 2 /* Hints */)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestBestVariantPrefersFaster(t *testing.T) {
 		t.Fatalf("bestVariant returned %q", v)
 	}
 	// Benchmarks without FG variants return themselves.
-	v, err = r.bestVariant("des", 2)
+	v, err = r.bestVariant(context.Background(), "des", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestGmean(t *testing.T) {
 func TestAblSerialRuns(t *testing.T) {
 	var buf bytes.Buffer
 	r := microRunner()
-	if err := AblSerial(r, &buf); err != nil {
+	if err := AblSerial(context.Background(), r, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "NoSer") {

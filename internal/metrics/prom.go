@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the Prometheus text exposition format (version
+// 0.0.4), the subset needed to publish operational counters and gauges —
+// the swarmd service's /metrics endpoint is the consumer. Output is
+// byte-deterministic: metrics print in the order given and series within a
+// metric are sorted by label signature.
+
+// PromValue is one series of a metric: a label set and its current value.
+type PromValue struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// PromMetric is one metric family: name, help text, type, and its series.
+// Type is "counter" or "gauge".
+type PromMetric struct {
+	Name   string
+	Help   string
+	Type   string
+	Values []PromValue
+}
+
+// labelEscaper escapes label values per the exposition format.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// labelString renders a label set as {k="v",...} with sorted keys, or ""
+// for an empty set.
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, labelEscaper.Replace(labels[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteProm writes the metric families in the Prometheus text exposition
+// format. Series within a family are sorted by label signature so the
+// output is deterministic regardless of map iteration order.
+func WriteProm(w io.Writer, families []PromMetric) error {
+	for _, m := range families {
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+			return err
+		}
+		lines := make([]string, 0, len(m.Values))
+		for _, v := range m.Values {
+			lines = append(lines, fmt.Sprintf("%s%s %s",
+				m.Name, labelString(v.Labels), strconv.FormatFloat(v.Value, 'g', -1, 64)))
+		}
+		sort.Strings(lines)
+		for _, line := range lines {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

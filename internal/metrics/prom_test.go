@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWritePromFormat(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteProm(&buf, []PromMetric{
+		{Name: "up", Help: "Liveness.", Type: "gauge",
+			Values: []PromValue{{Value: 1}}},
+		{Name: "runs_total", Help: "Runs by bench.", Type: "counter",
+			Values: []PromValue{
+				{Labels: map[string]string{"bench": "sssp"}, Value: 3},
+				{Labels: map[string]string{"bench": "des"}, Value: 12},
+			}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP up Liveness.
+# TYPE up gauge
+up 1
+# HELP runs_total Runs by bench.
+# TYPE runs_total counter
+runs_total{bench="des"} 12
+runs_total{bench="sssp"} 3
+`
+	if buf.String() != want {
+		t.Errorf("exposition output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestWritePromDeterministicLabels(t *testing.T) {
+	m := PromMetric{Name: "x", Type: "gauge", Values: []PromValue{
+		{Labels: map[string]string{"b": "2", "a": "1", "c": "3"}, Value: 7},
+	}}
+	var first string
+	for i := 0; i < 20; i++ {
+		var buf bytes.Buffer
+		if err := WriteProm(&buf, []PromMetric{m}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = buf.String()
+			continue
+		}
+		if buf.String() != first {
+			t.Fatal("label rendering is not deterministic across encodings")
+		}
+	}
+	want := "# TYPE x gauge\nx{a=\"1\",b=\"2\",c=\"3\"} 7\n"
+	if first != want {
+		t.Errorf("labels not sorted: %q, want %q", first, want)
+	}
+}
+
+func TestWritePromEscapesLabelValues(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteProm(&buf, []PromMetric{{Name: "x", Type: "counter", Values: []PromValue{
+		{Labels: map[string]string{"p": "a\\b\"c\nd"}, Value: 1},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE x counter\nx{p=\"a\\\\b\\\"c\\nd\"} 1\n"
+	if buf.String() != want {
+		t.Errorf("escaping wrong: %q, want %q", buf.String(), want)
+	}
+}

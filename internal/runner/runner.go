@@ -14,6 +14,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -75,10 +76,20 @@ func DeriveSeed(sweepSeed int64, index int) int64 {
 // Sweep executes jobs on a bounded worker pool and returns one Result per
 // job, in job order. A job that panics is isolated: its Result carries the
 // panic as an error (with stack) and every other job still runs.
-func Sweep(jobs []Job, opt Options) []Result {
+//
+// Cancellation is checked at job boundaries: once ctx is done, workers stop
+// starting new jobs and every not-yet-started job's Result carries ctx's
+// error instead of statistics. Jobs already in flight run to completion (a
+// simulation run is not interruptible), but an abandoned sweep stops
+// consuming workers after at most one job per worker. OnResult never fires
+// for a canceled job, so partial results are never emitted downstream.
+func Sweep(ctx context.Context, jobs []Job, opt Options) []Result {
 	results := make([]Result, len(jobs))
 	if len(jobs) == 0 {
 		return results
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := opt.Parallel
 	if workers <= 0 {
@@ -98,6 +109,16 @@ func Sweep(jobs []Job, opt Options) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range indices {
+				if err := ctx.Err(); err != nil {
+					// Canceled before start: record the cancellation and skip
+					// both the run and the OnResult callback.
+					results[i] = Result{
+						Index: i, Name: jobs[i].Name, Labels: jobs[i].Labels,
+						Seed: DeriveSeed(opt.Seed, i),
+						Err:  fmt.Errorf("runner: job %d (%s) canceled before start: %w", i, jobs[i].Name, err),
+					}
+					continue
+				}
 				results[i] = runOne(jobs[i], i, DeriveSeed(opt.Seed, i))
 				if opt.OnResult != nil {
 					resultLock.Lock()

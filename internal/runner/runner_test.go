@@ -1,10 +1,15 @@
 package runner
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"reflect"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"swarmhints/internal/bench"
 	"swarmhints/swarm"
@@ -26,7 +31,7 @@ func TestSweepOrderedAggregation(t *testing.T) {
 			},
 		}
 	}
-	results := Sweep(jobs, Options{Parallel: 4, Seed: 99})
+	results := Sweep(context.Background(), jobs, Options{Parallel: 4, Seed: 99})
 	if len(results) != n {
 		t.Fatalf("got %d results, want %d", len(results), n)
 	}
@@ -85,7 +90,7 @@ func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 	jobs := sweepJobs(t)
 	var baseline []Result
 	for _, parallel := range []int{1, 2, 8, 0} {
-		results := Sweep(jobs, Options{Parallel: parallel, Seed: 7})
+		results := Sweep(context.Background(), jobs, Options{Parallel: parallel, Seed: 7})
 		if err := FirstErr(results); err != nil {
 			t.Fatalf("parallel=%d: %v", parallel, err)
 		}
@@ -108,8 +113,8 @@ func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 // the derived per-run seeds (and with them the workloads).
 func TestSweepSeedSensitivity(t *testing.T) {
 	jobs := sweepJobs(t)[:2]
-	a := Sweep(jobs, Options{Parallel: 2, Seed: 7})
-	b := Sweep(jobs, Options{Parallel: 2, Seed: 8})
+	a := Sweep(context.Background(), jobs, Options{Parallel: 2, Seed: 7})
+	b := Sweep(context.Background(), jobs, Options{Parallel: 2, Seed: 8})
 	if a[0].Seed == b[0].Seed {
 		t.Errorf("sweep seeds 7 and 8 derived the same run seed %d", a[0].Seed)
 	}
@@ -125,7 +130,7 @@ func TestSweepPanicIsolation(t *testing.T) {
 		{Name: "good-2", Run: ok},
 		{Name: "fails", Run: func(int64) (*swarm.Stats, error) { return nil, errors.New("plain failure") }},
 	}
-	results := Sweep(jobs, Options{Parallel: 2, Seed: 1})
+	results := Sweep(context.Background(), jobs, Options{Parallel: 2, Seed: 1})
 	if results[0].Err != nil || results[2].Err != nil {
 		t.Fatalf("healthy jobs failed: %v / %v", results[0].Err, results[2].Err)
 	}
@@ -144,7 +149,7 @@ func TestSweepPanicIsolation(t *testing.T) {
 func TestSweepOnResult(t *testing.T) {
 	jobs := sweepJobs(t)[:3]
 	seen := make(map[int]int)
-	results := Sweep(jobs, Options{Parallel: 3, Seed: 7, OnResult: func(r Result) {
+	results := Sweep(context.Background(), jobs, Options{Parallel: 3, Seed: 7, OnResult: func(r Result) {
 		seen[r.Index]++ // serialized by the runner; no lock needed here
 	}})
 	if err := FirstErr(results); err != nil {
@@ -158,7 +163,7 @@ func TestSweepOnResult(t *testing.T) {
 }
 
 func TestSweepEmpty(t *testing.T) {
-	if got := Sweep(nil, Options{Parallel: 4}); len(got) != 0 {
+	if got := Sweep(context.Background(), nil, Options{Parallel: 4}); len(got) != 0 {
 		t.Fatalf("Sweep(nil) returned %d results", len(got))
 	}
 }
@@ -179,5 +184,118 @@ func TestDeriveSeed(t *testing.T) {
 	}
 	if DeriveSeed(7, 3) == DeriveSeed(8, 3) {
 		t.Error("sweep seed does not influence derived seed")
+	}
+}
+
+// TestSweepCancellationStopsWork is the cancellation contract: once ctx is
+// canceled, in-flight jobs finish (a simulation run is not interruptible)
+// but no new job starts, canceled jobs carry the cancellation as an error
+// with no statistics, OnResult never fires for them, and the worker
+// goroutines all exit — an abandoned sweep cannot leak workers or emit
+// partial results.
+func TestSweepCancellationStopsWork(t *testing.T) {
+	const (
+		n       = 40
+		workers = 4
+	)
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int32
+	release := make(chan struct{})
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{
+			Name: fmt.Sprintf("job-%d", i),
+			Run: func(int64) (*swarm.Stats, error) {
+				started.Add(1)
+				<-release
+				return &swarm.Stats{Cycles: 1}, nil
+			},
+		}
+	}
+	var emitted atomic.Int32
+	done := make(chan []Result, 1)
+	go func() {
+		done <- Sweep(ctx, jobs, Options{Parallel: workers, Seed: 1, OnResult: func(Result) {
+			emitted.Add(1)
+		}})
+	}()
+
+	// Wait until every worker is blocked inside a job, then cancel. The
+	// release happens after cancel, so workers observe the canceled context
+	// before picking up their next job.
+	for started.Load() < workers {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	results := <-done
+
+	completed, canceled := 0, 0
+	for i, res := range results {
+		switch {
+		case res.Err == nil:
+			completed++
+			if res.Stats == nil {
+				t.Errorf("completed job %d has no stats", i)
+			}
+		default:
+			canceled++
+			if !errors.Is(res.Err, context.Canceled) {
+				t.Errorf("job %d error is not the cancellation: %v", i, res.Err)
+			}
+			if res.Stats != nil {
+				t.Errorf("canceled job %d carries partial stats", i)
+			}
+			if res.Seed != DeriveSeed(1, i) {
+				t.Errorf("canceled job %d lost its derived seed", i)
+			}
+		}
+	}
+	if completed != workers || canceled != n-workers {
+		t.Errorf("completed=%d canceled=%d, want %d and %d", completed, canceled, workers, n-workers)
+	}
+	if got := int(emitted.Load()); got != workers {
+		t.Errorf("OnResult fired %d times, want %d (never for canceled jobs)", got, workers)
+	}
+	// Partial results must not leak into the machine-readable export either.
+	if got := len(Collect(results).Records); got != workers {
+		t.Errorf("Collect emitted %d records after cancellation, want %d", got, workers)
+	}
+	// All worker goroutines must exit: poll the goroutine count back down to
+	// the pre-sweep baseline (other tests' leftovers make an exact equality
+	// too strict only in the upward direction).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > baseline {
+		t.Errorf("goroutines leaked: %d running, baseline %d", got, baseline)
+	}
+}
+
+// TestSweepPreCanceled checks a sweep under an already-canceled context
+// runs nothing at all.
+func TestSweepPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	jobs := []Job{{Name: "never", Run: func(int64) (*swarm.Stats, error) {
+		ran = true
+		return &swarm.Stats{}, nil
+	}}}
+	results := Sweep(ctx, jobs, Options{Parallel: 2, Seed: 1, OnResult: func(Result) {
+		t.Error("OnResult fired under a pre-canceled context")
+	}})
+	if ran {
+		t.Error("job ran under a pre-canceled context")
+	}
+	if len(results) != 1 || !errors.Is(results[0].Err, context.Canceled) {
+		t.Fatalf("pre-canceled sweep results malformed: %+v", results)
+	}
+	if err := FirstErr(results); !errors.Is(err, context.Canceled) {
+		t.Errorf("FirstErr should surface the cancellation, got %v", err)
 	}
 }

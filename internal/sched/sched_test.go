@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"swarmhints/internal/hashutil"
+	"swarmhints/internal/metrics"
 	"swarmhints/internal/task"
 )
 
@@ -230,5 +231,118 @@ func TestKindStrings(t *testing.T) {
 		if k.String() != w {
 			t.Fatalf("%d.String() = %q, want %q", int(k), k.String(), w)
 		}
+	}
+}
+
+// --- LBIdleProxy reconfiguration coverage (Sec. VI-A idle-task proxy) ---
+
+// TestLBIdleProxyProportionalBucketSplit pins how an idle count is spread
+// over a tile's buckets: proportionally to profiled committed cycles. With
+// a 90/10 cycle split and fraction 0.8, only the light bucket fits inside
+// the receiver's deficit, so exactly it migrates.
+func TestLBIdleProxyProportionalBucketSplit(t *testing.T) {
+	s := New(LBIdleProxy, 2, 100, 1, nil)
+	var tile0 []int
+	for b := 0; b < s.Buckets(); b++ {
+		if s.TileOfBucket(b) == 0 {
+			tile0 = append(tile0, b)
+		}
+	}
+	heavy, light := tile0[0], tile0[1]
+	s.bucketCycles[heavy] = 900
+	s.bucketCycles[light] = 100
+	// Tile 0 holds all 100 idle tasks: bucketLoad(heavy)=90, (light)=10;
+	// the deficit each side may close is (100/2)*0.8 = 40.
+	s.Reconfigure(100, []int{100, 0})
+	if got := s.TileOfBucket(heavy); got != 0 {
+		t.Errorf("heavy bucket (load 90 > transferable 40) moved to tile %d", got)
+	}
+	if got := s.TileOfBucket(light); got != 1 {
+		t.Errorf("light bucket (load 10) stayed on tile %d, want migration to 1", got)
+	}
+	// Unprofiled tile-0 buckets carry zero load and must not move.
+	for _, b := range tile0[2:] {
+		if s.TileOfBucket(b) != 0 {
+			t.Errorf("zero-load bucket %d migrated", b)
+		}
+	}
+}
+
+// TestLBIdleProxyShortIdleSlice checks a shorter-than-tiles idle slice is
+// treated as zero idle for the missing tiles rather than panicking, and
+// still rebalances away from the listed loaded tile.
+func TestLBIdleProxyShortIdleSlice(t *testing.T) {
+	s := New(LBIdleProxy, 4, 100, 1, nil)
+	s.Reconfigure(100, []int{80}) // tiles 1..3 unlisted
+	moved := 0
+	counts := make([]int, 4)
+	for b := 0; b < s.Buckets(); b++ {
+		tile := s.TileOfBucket(b)
+		if tile < 0 || tile >= 4 {
+			t.Fatalf("bucket %d mapped to invalid tile %d", b, tile)
+		}
+		counts[tile]++
+		if b%4 == 0 && tile != 0 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("no bucket moved off the only loaded tile")
+	}
+	if total := counts[0] + counts[1] + counts[2] + counts[3]; total != s.Buckets() {
+		t.Errorf("partition broken: %d buckets accounted, want %d", total, s.Buckets())
+	}
+}
+
+// TestLBIdleProxyZeroLoadKeepsMap checks an all-idle-zero window changes
+// nothing except the schedule: the reconfiguration still counts and the
+// next one is pushed a full interval out.
+func TestLBIdleProxyZeroLoadKeepsMap(t *testing.T) {
+	s := New(LBIdleProxy, 4, 250, 1, nil)
+	before := make([]int, s.Buckets())
+	for b := range before {
+		before[b] = s.TileOfBucket(b)
+	}
+	s.Reconfigure(250, []int{0, 0, 0, 0})
+	for b := range before {
+		if s.TileOfBucket(b) != before[b] {
+			t.Fatalf("bucket %d moved under zero load", b)
+		}
+	}
+	if s.Reconfigs() != 1 {
+		t.Errorf("zero-load reconfig not counted: %d", s.Reconfigs())
+	}
+	if s.ReconfigDue(499) || !s.ReconfigDue(500) {
+		t.Error("next reconfiguration not scheduled one interval out")
+	}
+}
+
+// TestLBIdleProxyResetsProfileCounters checks each profiling window is
+// independent: committed-cycle counters clear after a reconfiguration.
+func TestLBIdleProxyResetsProfileCounters(t *testing.T) {
+	s := New(LBIdleProxy, 2, 100, 1, nil)
+	tk := hintTask(1, 5)
+	s.DestTile(tk, 0)
+	s.OnCommit(tk, 4242)
+	s.Reconfigure(100, []int{10, 0})
+	for b := 0; b < s.Buckets(); b++ {
+		if s.bucketCycles[b] != 0 {
+			t.Fatalf("bucket %d cycles not reset: %d", b, s.bucketCycles[b])
+		}
+	}
+}
+
+// TestLBReconfigPublishesToRecorder checks reconfiguration counts publish
+// into the shared metrics recorder (chip-level, like the engine wires it).
+func TestLBReconfigPublishesToRecorder(t *testing.T) {
+	rec := metrics.New(2)
+	s := New(LBIdleProxy, 2, 100, 1, rec)
+	s.Reconfigure(100, []int{10, 0})
+	s.Reconfigure(200, []int{0, 10})
+	if rec.Reconfigs != 2 {
+		t.Errorf("recorder saw %d reconfigs, want 2", rec.Reconfigs)
+	}
+	if s.Reconfigs() != 2 {
+		t.Errorf("scheduler reports %d reconfigs, want 2", s.Reconfigs())
 	}
 }

@@ -1,0 +1,307 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"swarmhints/internal/bench"
+	"swarmhints/internal/exp"
+	"swarmhints/internal/metrics"
+	"swarmhints/swarm"
+)
+
+// fig2SweepBody is the sweep request covering exactly the grid the fig2
+// experiment executes at Tiny scale with cores {1,4}: des under all four
+// schedulers. The committed golden export in internal/exp/testdata was
+// generated from that grid, so it doubles as the service's differential
+// oracle.
+const fig2SweepBody = `{
+	"benches": ["des"],
+	"scheds":  ["random", "stealing", "hints", "lbhints"],
+	"cores":   [1, 4],
+	"scale":   "tiny",
+	"format":  "%s"
+}`
+
+func fig2Golden(t *testing.T) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "exp", "testdata", "export_fig2_tiny.golden.json"))
+	if err != nil {
+		t.Fatalf("golden export missing: %v", err)
+	}
+	return b
+}
+
+// startServer boots the service on an ephemeral port.
+func startServer(t *testing.T, opt Options) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(opt)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	return svc, ts
+}
+
+func postSweep(t *testing.T, url, format string) []byte {
+	t.Helper()
+	body := strings.Replace(fig2SweepBody, "%s", format, 1)
+	resp, err := http.Post(url+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, b)
+	}
+	return b
+}
+
+// TestSweepJSONMatchesGoldenExport is the end-to-end differential test of
+// the acceptance criteria: the service's buffered JSON sweep response must
+// be byte-identical to the committed CLI export for the same grid — and to
+// a direct in-process exp.Runner — at more than one worker count.
+func TestSweepJSONMatchesGoldenExport(t *testing.T) {
+	golden := fig2Golden(t)
+
+	// Differential leg 1: a direct runner, no service in the path.
+	o := exp.DefaultOptions(bench.Tiny)
+	o.Cores = []int{1, 4}
+	direct := exp.NewRunner(o)
+	err := direct.PrimeGrid(context.Background(), []string{"des"},
+		[]swarm.SchedKind{swarm.Random, swarm.Stealing, swarm.Hints, swarm.LBHints}, []int{1, 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var directBuf bytes.Buffer
+	if err := direct.Export().WriteJSON(&directBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(directBuf.Bytes(), golden) {
+		t.Fatal("direct runner export no longer matches the golden file; regenerate the golden first")
+	}
+
+	// Differential leg 2: the service, at two worker counts.
+	for _, workers := range []int{1, 8} {
+		_, ts := startServer(t, Options{Workers: workers, Validate: true})
+		got := postSweep(t, ts.URL, "json")
+		if !bytes.Equal(got, golden) {
+			t.Errorf("workers=%d: sweep JSON differs from the golden export (%d vs %d bytes)",
+				workers, len(got), len(golden))
+		}
+	}
+}
+
+// TestSweepNDJSONReassemblesToGolden checks the streaming format: lines
+// arrive in canonical configuration order, and reassembling them into a
+// ResultSet reproduces the golden export byte for byte.
+func TestSweepNDJSONReassemblesToGolden(t *testing.T) {
+	_, ts := startServer(t, Options{Workers: 4, Validate: true})
+	raw := postSweep(t, ts.URL, "ndjson")
+
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatal("empty NDJSON response")
+	}
+	var header struct {
+		Schema string   `json:"schema"`
+		Fields []string `json:"fields"`
+		Points int      `json:"points"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
+		t.Fatalf("bad header line: %v", err)
+	}
+	if header.Schema != metrics.SchemaVersion {
+		t.Fatalf("header schema %q, want %q", header.Schema, metrics.SchemaVersion)
+	}
+	if header.Points != 8 {
+		t.Fatalf("header announces %d points, want 8 (truncation detection)", header.Points)
+	}
+	rs := metrics.ResultSet{Schema: header.Schema, Fields: header.Fields}
+	for sc.Scan() {
+		var rec metrics.Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad record line: %v", err)
+		}
+		rs.Records = append(rs.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Records) != 8 {
+		t.Fatalf("stream carried %d records, want 8", len(rs.Records))
+	}
+	// Streamed order must be the canonical export order already.
+	for i := 1; i < len(rs.Records); i++ {
+		a, b := rs.Records[i-1].Labels, rs.Records[i].Labels
+		if a["sched"] == b["sched"] && a["cores"] > b["cores"] {
+			t.Fatalf("records %d/%d out of canonical order: %v then %v", i-1, i, a, b)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), fig2Golden(t)) {
+		t.Error("reassembled NDJSON stream differs from the golden export")
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts hammers the same sweep at
+// several worker counts on one shared service (so later sweeps are partly
+// or fully cache-served) and requires byte-identical NDJSON every time:
+// cache state must be unobservable in the bytes.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	var first []byte
+	for _, workers := range []int{1, 2, 8} {
+		_, ts := startServer(t, Options{Workers: workers, Validate: true})
+		got := postSweep(t, ts.URL, "ndjson")
+		if first == nil {
+			first = got
+			continue
+		}
+		if !bytes.Equal(got, first) {
+			t.Errorf("workers=%d: NDJSON differs from workers=1", workers)
+		}
+	}
+	// Cold vs warm on one service: the second response comes from cache.
+	svc, ts := startServer(t, Options{Workers: 4, Validate: true})
+	cold := postSweep(t, ts.URL, "ndjson")
+	missesAfterCold := svc.Counters().Misses
+	warm := postSweep(t, ts.URL, "ndjson")
+	if !bytes.Equal(cold, warm) {
+		t.Error("warm sweep bytes differ from cold sweep")
+	}
+	if got := svc.Counters().Misses; got != missesAfterCold {
+		t.Errorf("warm sweep executed %d extra simulations", got-missesAfterCold)
+	}
+}
+
+// promCounter extracts one un-labeled counter value from /metrics output.
+func promCounter(t *testing.T, url, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	m := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`).FindSubmatch(b)
+	if m == nil {
+		t.Fatalf("metric %s missing from /metrics:\n%s", name, b)
+	}
+	v, err := strconv.ParseFloat(string(m[1]), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestWarmRunServedFromCacheViaMetrics is the acceptance check "a
+// warm-cache POST /v1/run answers without launching a simulation, verified
+// by the hit counter in /metrics".
+func TestWarmRunServedFromCacheViaMetrics(t *testing.T) {
+	_, ts := startServer(t, Options{Workers: 2, Validate: true})
+	post := func() (string, []byte) {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json",
+			strings.NewReader(`{"bench":"des","sched":"random","cores":1,"scale":"tiny"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run status %d: %s", resp.StatusCode, b)
+		}
+		return resp.Header.Get("X-Swarmd-Source"), b
+	}
+
+	src, cold := post()
+	if src != string(SourceRun) {
+		t.Fatalf("cold run source = %q, want run", src)
+	}
+	hits, misses := promCounter(t, ts.URL, "swarmd_cache_hits_total"), promCounter(t, ts.URL, "swarmd_cache_misses_total")
+	if hits != 0 || misses != 1 {
+		t.Fatalf("after cold run: hits=%v misses=%v, want 0/1", hits, misses)
+	}
+
+	src, warm := post()
+	if src != string(SourceCache) {
+		t.Fatalf("warm run source = %q, want cache", src)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Error("warm response bytes differ from cold response")
+	}
+	hits, misses = promCounter(t, ts.URL, "swarmd_cache_hits_total"), promCounter(t, ts.URL, "swarmd_cache_misses_total")
+	if hits != 1 || misses != 1 {
+		t.Fatalf("after warm run: hits=%v misses=%v, want 1/1 (no new simulation)", hits, misses)
+	}
+}
+
+// TestExperimentEndpointMatchesGolden runs the paper's fig2 through
+// POST /v1/experiments/fig2 and requires the same golden bytes: figures as
+// a service go through the exact same harness as the CLI.
+func TestExperimentEndpointMatchesGolden(t *testing.T) {
+	svc, ts := startServer(t, Options{Workers: 4, Validate: true})
+	resp, err := http.Post(ts.URL+"/v1/experiments/fig2", "application/json",
+		strings.NewReader(`{"scale":"tiny","cores":[1,4]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("experiment status %d: %s", resp.StatusCode, b)
+	}
+	if !bytes.Equal(b, fig2Golden(t)) {
+		t.Error("experiment endpoint export differs from the golden file")
+	}
+	if got := svc.Counters().ExperimentRuns["fig2"]; got != 1 {
+		t.Errorf("experiment counter = %d, want 1", got)
+	}
+
+	// The figure's points are now cached service-wide: a direct run of one
+	// of them must be a cache hit.
+	if _, src, err := svc.Stats(context.Background(), Config{
+		Scale: bench.Tiny, Seed: 7,
+		Point: exp.Point{Name: "des", Kind: swarm.LBHints, Cores: 4},
+	}); err != nil || src != SourceCache {
+		t.Errorf("experiment results not shared with the service cache: src=%v err=%v", src, err)
+	}
+
+	// Unknown experiment ids 404.
+	resp, err = http.Post(ts.URL+"/v1/experiments/fig9", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("fig9 status %d, want 404", resp.StatusCode)
+	}
+
+	// Text format returns the human tables.
+	resp, err = http.Post(ts.URL+"/v1/experiments/fig2", "application/json",
+		strings.NewReader(`{"scale":"tiny","cores":[1,4],"format":"text"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "des speedup over 1-core") {
+		t.Errorf("text format lacks the fig2 table:\n%s", b)
+	}
+}

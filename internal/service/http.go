@@ -1,0 +1,524 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+
+	"swarmhints/internal/bench"
+	"swarmhints/internal/cliutil"
+	"swarmhints/internal/exp"
+	"swarmhints/internal/metrics"
+	"swarmhints/internal/runner"
+	"swarmhints/swarm"
+)
+
+// maxBodyBytes bounds request bodies; sweep grids are tiny JSON documents.
+const maxBodyBytes = 1 << 20
+
+// RunRequest is the body of POST /v1/run: one simulation configuration.
+type RunRequest struct {
+	Bench   string `json:"bench"`
+	Sched   string `json:"sched"`
+	Cores   int    `json:"cores"`
+	Scale   string `json:"scale"` // tiny|small|full; default small
+	Seed    *int64 `json:"seed"`  // default 7 (the harness default)
+	Profile bool   `json:"profile"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: a configuration grid
+// (benches × scheds × cores), executed under one (scale, seed) harness.
+type SweepRequest struct {
+	Benches []string `json:"benches"`
+	Scheds  []string `json:"scheds"`
+	Cores   []int    `json:"cores"`
+	Scale   string   `json:"scale"`
+	Seed    *int64   `json:"seed"`
+	Profile bool     `json:"profile"`
+	// Format selects the response encoding: "ndjson" (default) streams one
+	// record per line in canonical configuration order as results complete;
+	// "json" and "csv" buffer the full result set and emit exactly the
+	// bytes cmd/experiments -format json|csv would for the same grid.
+	Format string `json:"format"`
+}
+
+// ExperimentRequest is the body of POST /v1/experiments/{id}.
+type ExperimentRequest struct {
+	Scale  string `json:"scale"`
+	Seed   *int64 `json:"seed"`
+	Cores  []int  `json:"cores"`  // core sweep override; default per scale
+	Format string `json:"format"` // json (default) | csv | ndjson | text
+}
+
+// Handler returns the service's HTTP API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// decodeBody decodes a JSON request body into v, rejecting unknown fields
+// so typos in configuration keys fail loudly instead of running defaults.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// checkCores rejects core counts the simulated machine cannot be built
+// with: sim.Config.WithCores silently rounds up to the next 1-or-k²·c mesh,
+// which would cache results under a mislabeled configuration key.
+func checkCores(cores []int) error {
+	for _, c := range cores {
+		if c < 1 {
+			return fmt.Errorf("cores must be >= 1, got %d", c)
+		}
+		if got := swarm.ScaledConfig().WithCores(c).Cores(); got != c {
+			return fmt.Errorf("cores must be 1 or fill a square mesh (nearest is %d), got %d", got, c)
+		}
+	}
+	return nil
+}
+
+// parseHarness resolves the shared (scale, seed) harness fields.
+func parseHarness(scaleName string, seed *int64) (bench.Scale, int64, error) {
+	if scaleName == "" {
+		scaleName = "small"
+	}
+	scale, err := cliutil.ParseScale(scaleName)
+	if err != nil {
+		return 0, 0, err
+	}
+	s := int64(7)
+	if seed != nil {
+		s = *seed
+	}
+	return scale, s, nil
+}
+
+// parsePoint resolves one run request into a configuration.
+func (req RunRequest) parse() (Config, error) {
+	scale, seed, err := parseHarness(req.Scale, req.Seed)
+	if err != nil {
+		return Config{}, err
+	}
+	if _, ok := bench.Registry[req.Bench]; !ok {
+		return Config{}, fmt.Errorf("unknown benchmark %q", req.Bench)
+	}
+	kind, err := cliutil.ParseSched(req.Sched)
+	if err != nil {
+		return Config{}, err
+	}
+	if err := checkCores([]int{req.Cores}); err != nil {
+		return Config{}, err
+	}
+	return Config{Scale: scale, Seed: seed, Point: exp.Point{
+		Name: req.Bench, Kind: kind, Cores: req.Cores, Profile: req.Profile,
+	}}, nil
+}
+
+// parseGrid resolves a sweep request into its deduplicated, canonically
+// ordered configuration points plus the harness fields.
+func (req SweepRequest) parse() ([]exp.Point, bench.Scale, int64, error) {
+	scale, seed, err := parseHarness(req.Scale, req.Seed)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if len(req.Benches) == 0 || len(req.Scheds) == 0 || len(req.Cores) == 0 {
+		return nil, 0, 0, errors.New("benches, scheds, and cores must each list at least one value")
+	}
+	for _, b := range req.Benches {
+		if _, ok := bench.Registry[b]; !ok {
+			return nil, 0, 0, fmt.Errorf("unknown benchmark %q", b)
+		}
+	}
+	var kinds []swarm.SchedKind
+	for _, sc := range req.Scheds {
+		k, err := cliutil.ParseSched(sc)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		kinds = append(kinds, k)
+	}
+	if err := checkCores(req.Cores); err != nil {
+		return nil, 0, 0, err
+	}
+	points := exp.DedupSorted(exp.Grid(req.Benches, kinds, req.Cores, req.Profile))
+	return points, scale, seed, nil
+}
+
+// handleRun serves POST /v1/run: one configuration, answered from the
+// cache when warm. The response is a single-record result set encoded
+// exactly as the CLI export encodes it.
+func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg, err := req.parse()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, src, err := s.Stats(r.Context(), cfg)
+	if err != nil {
+		httpRunError(w, err)
+		return
+	}
+	rs := exp.ExportSet([]exp.Point{cfg.Point}, cfg.Scale, cfg.Seed,
+		func(exp.Point) *swarm.Stats { return st })
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Swarmd-Source", string(src))
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleSweep serves POST /v1/sweep: the grid is sharded across the worker
+// fleet and, for NDJSON, streamed in canonical configuration order — record
+// i is written as soon as records 0..i have all completed, so output order
+// is deterministic for any worker count even though completion order is not.
+func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	points, scale, seed, err := req.parse()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	format := req.Format
+	if format == "" {
+		format = "ndjson"
+	}
+
+	switch format {
+	case "ndjson":
+		s.streamSweep(w, r.Context(), points, scale, seed)
+	case "json", "csv":
+		stats, err := s.runAll(r.Context(), points, scale, seed)
+		if err != nil {
+			httpRunError(w, err)
+			return
+		}
+		rs := exp.ExportSet(points, scale, seed, func(p exp.Point) *swarm.Stats { return stats[p.Key()] })
+		writeResultSet(w, rs, format)
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (have ndjson, json, csv)", format), http.StatusBadRequest)
+	}
+}
+
+// runAll executes every point through the cached/coalesced fleet path and
+// returns the statistics keyed by configuration. The first failure cancels
+// the rest of the grid — the response is an error either way, so finishing
+// the remaining points would only burn fleet time.
+func (s *Service) runAll(ctx context.Context, points []exp.Point, scale bench.Scale, seed int64) (map[string]*swarm.Stats, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs := make([]runner.Job, len(points))
+	for i, p := range points {
+		p := p
+		jobs[i] = runner.Job{
+			Name: p.Key(),
+			Run: func(int64) (*swarm.Stats, error) {
+				st, _, err := s.Stats(ctx, Config{Scale: scale, Seed: seed, Point: p})
+				return st, err
+			},
+		}
+	}
+	results := runner.Sweep(ctx, jobs, runner.Options{
+		Parallel: s.opt.Workers,
+		Seed:     seed,
+		OnResult: func(res runner.Result) {
+			if res.Err != nil {
+				cancel()
+			}
+		},
+	})
+	if err := runner.FirstErr(results); err != nil {
+		// The cancellation fans out to every unfinished job; report the
+		// failure that triggered it, not a ripple.
+		for _, res := range results {
+			if res.Err != nil && !errors.Is(res.Err, context.Canceled) {
+				return nil, res.Err
+			}
+		}
+		return nil, err
+	}
+	stats := make(map[string]*swarm.Stats, len(points))
+	for i, res := range results {
+		stats[points[i].Key()] = res.Stats
+	}
+	return stats, nil
+}
+
+// streamSweep emits the sweep as NDJSON: a header line carrying the schema
+// and label fields, then one compact record per line in canonical
+// configuration order. Reassembling the lines into a ResultSet and encoding
+// it as indented JSON reproduces the buffered "json" response byte for byte.
+func (s *Service) streamSweep(w http.ResponseWriter, ctx context.Context, points []exp.Point, scale bench.Scale, seed int64) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	header, err := ndjsonHeader(metrics.SchemaVersion, exp.ExportFields, len(points))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if _, err := w.Write(header); err != nil {
+		return
+	}
+	flush := func() {}
+	if f, ok := w.(http.Flusher); ok {
+		flush = f.Flush
+	}
+	flush()
+
+	// The first failure cancels the rest of the grid: an NDJSON stream has
+	// no way to signal an error retroactively, so it is truncated instead —
+	// a complete response always has exactly 1+len(points) lines.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	next := 0 // next point index to emit
+	lines := make(map[int][]byte, len(points))
+	var streamErr error
+	jobs := make([]runner.Job, len(points))
+	for i, p := range points {
+		p := p
+		jobs[i] = runner.Job{
+			Name: p.Key(),
+			Run: func(int64) (*swarm.Stats, error) {
+				st, _, err := s.Stats(ctx, Config{Scale: scale, Seed: seed, Point: p})
+				return st, err
+			},
+		}
+	}
+	results := runner.Sweep(ctx, jobs, runner.Options{
+		Parallel: s.opt.Workers,
+		Seed:     seed,
+		// OnResult runs serialized under the runner's lock: safe to write.
+		OnResult: func(res runner.Result) {
+			if streamErr != nil {
+				return
+			}
+			if res.Err != nil {
+				streamErr = res.Err
+				cancel()
+				return
+			}
+			p := points[res.Index]
+			line, err := json.Marshal(metrics.Record{
+				Labels:   exp.PointLabels(p, scale, seed),
+				Snapshot: res.Stats.Snapshot(),
+			})
+			if err != nil {
+				streamErr = err
+				cancel()
+				return
+			}
+			lines[res.Index] = append(line, '\n')
+			for next < len(points) && lines[next] != nil {
+				if _, err := w.Write(lines[next]); err != nil {
+					streamErr = err
+					cancel()
+					return
+				}
+				delete(lines, next)
+				next++
+			}
+			flush()
+		},
+	})
+	if streamErr == nil {
+		streamErr = runner.FirstErr(results)
+	}
+	if streamErr != nil {
+		log.Printf("swarmd: sweep stream aborted: %v", streamErr)
+	}
+}
+
+// handleExperimentList serves GET /v1/experiments: the paper's experiment
+// registry, in paper order.
+func (s *Service) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
+	type entry struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	list := make([]entry, 0, len(exp.Registry))
+	for _, e := range exp.Registry {
+		list = append(list, entry{e.ID, e.Title})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(list)
+}
+
+// handleExperiment serves POST /v1/experiments/{id}: regenerate one paper
+// table or figure as a service. Simulation points execute through the
+// shared cache and worker fleet, so repeated figures are answered mostly
+// from cache. format "text" returns the human-readable tables; the
+// machine-readable formats return the same export the CLI emits.
+func (s *Service) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	e, err := exp.Find(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	var req ExperimentRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	scale, seed, err := parseHarness(req.Scale, req.Seed)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	format := req.Format
+	if format == "" {
+		format = "json"
+	}
+	switch format {
+	case "json", "csv", "ndjson", "text":
+	default:
+		// Reject up front: an experiment at full scale is minutes of work.
+		http.Error(w, fmt.Sprintf("unknown format %q (have json, csv, ndjson, text)", format), http.StatusBadRequest)
+		return
+	}
+	opt := exp.DefaultOptions(scale)
+	opt.Seed = seed
+	opt.Parallel = s.opt.Workers
+	opt.Validate = s.opt.Validate
+	opt.Exec = s.Exec(scale, seed)
+	opt.Gate = s.AcquireSlot
+	if len(req.Cores) > 0 {
+		if err := checkCores(req.Cores); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		opt.Cores = req.Cores
+	}
+	runner := exp.NewRunner(opt)
+
+	var tables bytes.Buffer
+	var tableOut io.Writer = &tables
+	if format != "text" {
+		tableOut = io.Discard
+	}
+	if err := e.Run(r.Context(), runner, tableOut); err != nil {
+		httpRunError(w, err)
+		return
+	}
+	s.countExperiment(e.ID)
+	if format == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write(tables.Bytes())
+		return
+	}
+	writeResultSet(w, runner.Export(), format)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = io.WriteString(w, "{\"status\":\"ok\"}\n")
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = metrics.WriteProm(w, s.PromMetrics())
+}
+
+// writeResultSet encodes a completed result set in the requested format.
+func writeResultSet(w http.ResponseWriter, rs *metrics.ResultSet, format string) {
+	var buf bytes.Buffer
+	var contentType string
+	var err error
+	switch format {
+	case "json":
+		contentType = "application/json"
+		err = rs.WriteJSON(&buf)
+	case "csv":
+		contentType = "text/csv"
+		err = rs.WriteCSV(&buf)
+	case "ndjson":
+		contentType = "application/x-ndjson"
+		err = writeNDJSON(&buf, rs)
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (have json, csv, ndjson)", format), http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// ndjsonHeader encodes the NDJSON framing's first line (newline included):
+// the schema version, the label-field order every record line follows, and
+// the number of record lines a complete response carries — a stream with
+// fewer lines was truncated by a mid-grid failure, which a 200-then-stream
+// response cannot signal any other way.
+func ndjsonHeader(schema string, fields []string, points int) ([]byte, error) {
+	header, err := json.Marshal(struct {
+		Schema string   `json:"schema"`
+		Fields []string `json:"fields"`
+		Points int      `json:"points"`
+	}{schema, fields, points})
+	if err != nil {
+		return nil, err
+	}
+	return append(header, '\n'), nil
+}
+
+// writeNDJSON encodes a result set in the sweep endpoint's NDJSON framing:
+// header line, then one compact record per line.
+func writeNDJSON(w io.Writer, rs *metrics.ResultSet) error {
+	header, err := ndjsonHeader(rs.Schema, rs.Fields, len(rs.Records))
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	for _, rec := range rs.Records {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// httpRunError maps an execution failure to a status code: cancellations
+// surface as 499-style client aborts, everything else is a 500.
+func httpRunError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		code = http.StatusServiceUnavailable
+	}
+	http.Error(w, err.Error(), code)
+}

@@ -1,0 +1,349 @@
+// Package service is the simulation-sweep serving layer behind cmd/swarmd:
+// a long-running HTTP/JSON front end over the experiment harness that
+// shards incoming work across a bounded worker fleet (internal/runner),
+// coalesces duplicate in-flight configurations so each simulation executes
+// at most once (singleflight), and answers repeats from a size-bounded LRU
+// result cache keyed by the canonical configuration key internal/exp uses.
+//
+// Determinism contract: a simulation configuration fully determines its
+// result, so the service can cache and coalesce freely — every response is
+// byte-identical to what cmd/experiments -format json emits for the same
+// configuration, no matter the worker count, cache state, or request
+// interleaving. Responses are assembled through exp.ExportSet, the same
+// encoder the CLIs use, which makes that identity hold by construction.
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"swarmhints/internal/bench"
+	"swarmhints/internal/exp"
+	"swarmhints/internal/metrics"
+	"swarmhints/swarm"
+)
+
+// Config is one fully specified simulation configuration: a harness point
+// plus the workload scale and seed the experiment harness fixes per run.
+type Config struct {
+	Scale bench.Scale
+	Seed  int64
+	Point exp.Point
+}
+
+// Key is the canonical cache key: the (scale, seed) harness prefix followed
+// by the experiment harness's own configuration key.
+func (c Config) Key() string {
+	return fmt.Sprintf("%s/%d/%s", c.Scale, c.Seed, c.Point.Key())
+}
+
+// Options configures a Service.
+type Options struct {
+	// Workers bounds how many simulations run concurrently across ALL
+	// requests (0 = GOMAXPROCS). Requests beyond the bound queue.
+	Workers int
+	// CacheEntries bounds the LRU result cache (0 = 4096 entries).
+	CacheEntries int
+	// Validate checks every executed run against its serial reference
+	// before caching or serving it.
+	Validate bool
+}
+
+// DefaultOptions returns the standard service configuration: GOMAXPROCS
+// workers, a 4096-entry cache, and validation on.
+func DefaultOptions() Options {
+	return Options{Validate: true}
+}
+
+// Source says how a request's result was obtained.
+type Source string
+
+// Sources.
+const (
+	SourceCache     Source = "cache"     // answered from the LRU without any work
+	SourceRun       Source = "run"       // this request executed the simulation
+	SourceCoalesced Source = "coalesced" // attached to another request's in-flight run
+)
+
+// flight is one in-progress simulation that duplicate requests attach to.
+// It executes under its own context, derived from the service lifetime and
+// canceled only when every interested request has gone away — so one
+// caller's disconnect never fails the other callers coalesced onto it,
+// while a flight nobody wants anymore stops consuming the fleet.
+type flight struct {
+	done   chan struct{} // closed when st/err are final
+	refs   int           // interested requests; guarded by Service.mu
+	cancel context.CancelFunc
+	st     *swarm.Stats
+	err    error
+}
+
+// Counters is a point-in-time snapshot of the service's operational
+// counters. Hits+Misses+Coalesced equals the number of Stats calls served;
+// Misses counts the calls that led a new simulation attempt (a cache miss
+// with no flight to join). Attempts that completed appear in RunsByBench —
+// a miss whose caller disconnected while queued executes nothing.
+type Counters struct {
+	Hits      uint64
+	Misses    uint64
+	Coalesced uint64
+	Queued    int64 // requests waiting for a worker slot right now
+	InFlight  int64 // simulations executing right now
+	Cached    int   // entries resident in the LRU
+
+	RunsByBench    map[string]uint64 // completed simulations per benchmark
+	ExperimentRuns map[string]uint64 // POST /v1/experiments/{id} invocations
+}
+
+// Service is the shared state of a swarmd instance.
+type Service struct {
+	opt    Options
+	ctx    context.Context // lifetime; canceled by Close
+	cancel context.CancelFunc
+	sem    chan struct{} // worker-fleet slots
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	queued    atomic.Int64
+	inflight  atomic.Int64
+
+	mu      sync.Mutex
+	cache   *lru
+	flights map[string]*flight
+	runs    map[string]uint64 // per-bench completed simulation counts
+	expRuns map[string]uint64 // per-experiment invocation counts
+}
+
+// New builds a Service.
+func New(opt Options) *Service {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.CacheEntries <= 0 {
+		opt.CacheEntries = 4096
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Service{
+		opt:     opt,
+		ctx:     ctx,
+		cancel:  cancel,
+		sem:     make(chan struct{}, opt.Workers),
+		cache:   newLRU(opt.CacheEntries),
+		flights: make(map[string]*flight),
+		runs:    make(map[string]uint64),
+		expRuns: make(map[string]uint64),
+	}
+}
+
+// Context returns the service's lifetime context. HTTP servers should use
+// it as their BaseContext so Close cancels every in-flight request.
+func (s *Service) Context() context.Context { return s.ctx }
+
+// Close cancels the service's lifetime context, aborting queued work. Safe
+// to call more than once.
+func (s *Service) Close() { s.cancel() }
+
+// Workers returns the worker-fleet bound.
+func (s *Service) Workers() int { return s.opt.Workers }
+
+// attachLocked registers one interested request on a flight: the flight's
+// context is canceled when the last attached request's own context dies.
+// Callers must hold s.mu. It fails on a flight every caller has already
+// abandoned (its cancellation is in progress) — the caller should wait for
+// the flight to clear and retry rather than ride a dying run.
+func (s *Service) attachLocked(f *flight, ctx context.Context, leader bool) (release func(), ok bool) {
+	if !leader && f.refs == 0 {
+		return nil, false
+	}
+	f.refs++
+	drop := func() {
+		s.mu.Lock()
+		f.refs--
+		dead := f.refs == 0
+		s.mu.Unlock()
+		if dead {
+			f.cancel()
+		}
+	}
+	stop := context.AfterFunc(ctx, drop)
+	return func() {
+		if stop() { // AfterFunc never ran: hand the reference back ourselves
+			drop()
+		}
+	}, true
+}
+
+// Stats returns the statistics for one configuration: from the LRU cache
+// when resident, by attaching to an identical in-flight run when one
+// exists, and by executing the simulation on the worker fleet otherwise.
+// Exactly one of the three happens per call, and exactly one simulation
+// executes no matter how many callers race on the same configuration.
+func (s *Service) Stats(ctx context.Context, cfg Config) (*swarm.Stats, Source, error) {
+	key := cfg.Key()
+	for {
+		s.mu.Lock()
+		if st, ok := s.cache.get(key); ok {
+			s.mu.Unlock()
+			s.hits.Add(1)
+			return st, SourceCache, nil
+		}
+		f, ok := s.flights[key]
+		if !ok {
+			break // become the leader below (still holding s.mu)
+		}
+		release, live := s.attachLocked(f, ctx, false)
+		s.mu.Unlock()
+		if !live {
+			// Every caller abandoned this flight and its cancellation is in
+			// progress; wait for it to clear the map and start fresh.
+			select {
+			case <-f.done:
+				continue
+			case <-ctx.Done():
+				return nil, SourceCoalesced, ctx.Err()
+			}
+		}
+		s.coalesced.Add(1)
+		defer release()
+		select {
+		case <-f.done:
+			return f.st, SourceCoalesced, f.err
+		case <-ctx.Done():
+			return nil, SourceCoalesced, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	fctx, fcancel := context.WithCancel(s.ctx)
+	f.cancel = fcancel
+	release, _ := s.attachLocked(f, ctx, true)
+	defer release()
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	s.misses.Add(1)
+	f.st, f.err = s.execute(fctx, cfg)
+
+	s.mu.Lock()
+	delete(s.flights, key)
+	if f.err == nil {
+		s.cache.add(key, f.st)
+		s.runs[cfg.Point.Name]++
+	}
+	s.mu.Unlock()
+	close(f.done)
+	fcancel() // flight finished; release its context resources
+	return f.st, SourceRun, f.err
+}
+
+// AcquireSlot blocks until a worker-fleet slot is free (or ctx dies) and
+// returns its release. It is the one gate every simulation the service
+// performs passes through — cacheable points via execute, bespoke
+// experiment runs via exp.Options.Gate — so the -workers bound holds
+// globally and the queue/in-flight gauges see all of them.
+func (s *Service) AcquireSlot(ctx context.Context) (release func(), err error) {
+	s.queued.Add(1)
+	select {
+	case s.sem <- struct{}{}:
+		s.queued.Add(-1)
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		return nil, ctx.Err()
+	}
+	s.inflight.Add(1)
+	return func() {
+		s.inflight.Add(-1)
+		<-s.sem
+	}, nil
+}
+
+// execute runs one simulation on the bounded worker fleet under the
+// flight's context. Waiting for a slot is interruptible; once a slot is
+// held the run itself is not (a simulation is a pure function with no
+// blocking points), so a flight abandoned by every caller frees its queue
+// position immediately and its worker after at most one run.
+func (s *Service) execute(ctx context.Context, cfg Config) (*swarm.Stats, error) {
+	release, err := s.AcquireSlot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return exp.RunPoint(cfg.Point, cfg.Scale, cfg.Seed, s.opt.Validate)
+}
+
+// Exec adapts the service's cached, coalesced, fleet-bounded execution path
+// to the experiment harness's pluggable executor, binding the harness's
+// (scale, seed). An exp.Runner built with this executor shares the
+// service-wide cache and worker fleet.
+func (s *Service) Exec(scale bench.Scale, seed int64) func(context.Context, exp.Point) (*swarm.Stats, error) {
+	return func(ctx context.Context, p exp.Point) (*swarm.Stats, error) {
+		st, _, err := s.Stats(ctx, Config{Scale: scale, Seed: seed, Point: p})
+		return st, err
+	}
+}
+
+// countExperiment records one experiment-endpoint invocation.
+func (s *Service) countExperiment(id string) {
+	s.mu.Lock()
+	s.expRuns[id]++
+	s.mu.Unlock()
+}
+
+// Counters snapshots the operational counters.
+func (s *Service) Counters() Counters {
+	s.mu.Lock()
+	runs := make(map[string]uint64, len(s.runs))
+	for k, v := range s.runs {
+		runs[k] = v
+	}
+	expRuns := make(map[string]uint64, len(s.expRuns))
+	for k, v := range s.expRuns {
+		expRuns[k] = v
+	}
+	cached := s.cache.len()
+	s.mu.Unlock()
+	return Counters{
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Coalesced:      s.coalesced.Load(),
+		Queued:         s.queued.Load(),
+		InFlight:       s.inflight.Load(),
+		Cached:         cached,
+		RunsByBench:    runs,
+		ExperimentRuns: expRuns,
+	}
+}
+
+// PromMetrics renders the operational counters as Prometheus metric
+// families for the /metrics endpoint.
+func (s *Service) PromMetrics() []metrics.PromMetric {
+	c := s.Counters()
+	single := func(name, help, typ string, v float64) metrics.PromMetric {
+		return metrics.PromMetric{Name: name, Help: help, Type: typ,
+			Values: []metrics.PromValue{{Value: v}}}
+	}
+	perLabel := func(name, help, label string, m map[string]uint64) metrics.PromMetric {
+		pm := metrics.PromMetric{Name: name, Help: help, Type: "counter"}
+		for k, v := range m {
+			pm.Values = append(pm.Values, metrics.PromValue{
+				Labels: map[string]string{label: k}, Value: float64(v)})
+		}
+		return pm
+	}
+	return []metrics.PromMetric{
+		single("swarmd_cache_hits_total", "Requests answered from the LRU result cache.", "counter", float64(c.Hits)),
+		single("swarmd_cache_misses_total", "Cache misses: requests that led a new simulation attempt.", "counter", float64(c.Misses)),
+		single("swarmd_coalesced_total", "Requests attached to an identical in-flight simulation.", "counter", float64(c.Coalesced)),
+		single("swarmd_cache_entries", "Results resident in the LRU cache.", "gauge", float64(c.Cached)),
+		single("swarmd_queue_depth", "Requests waiting for a worker-fleet slot.", "gauge", float64(c.Queued)),
+		single("swarmd_inflight_runs", "Simulations executing right now.", "gauge", float64(c.InFlight)),
+		perLabel("swarmd_runs_total", "Completed simulations by benchmark.", "bench", c.RunsByBench),
+		perLabel("swarmd_experiment_runs_total", "Experiment endpoint invocations by id.", "id", c.ExperimentRuns),
+	}
+}

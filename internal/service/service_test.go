@@ -1,0 +1,404 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"swarmhints/internal/bench"
+	"swarmhints/internal/exp"
+	"swarmhints/swarm"
+)
+
+// tinyConfig is the cheap configuration the unit tests hammer.
+func tinyConfig(name string, cores int) Config {
+	return Config{Scale: bench.Tiny, Seed: 7, Point: exp.Point{
+		Name: name, Kind: swarm.Hints, Cores: cores,
+	}}
+}
+
+func TestConfigKeyUsesCanonicalPointKey(t *testing.T) {
+	cfg := tinyConfig("des", 4)
+	if !strings.HasSuffix(cfg.Key(), cfg.Point.Key()) {
+		t.Fatalf("service key %q does not embed the harness key %q", cfg.Key(), cfg.Point.Key())
+	}
+	if !strings.HasPrefix(cfg.Key(), "tiny/7/") {
+		t.Fatalf("service key %q lacks the (scale, seed) prefix", cfg.Key())
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	c := newLRU(2)
+	st := func(n uint64) *swarm.Stats { return &swarm.Stats{Cycles: n} }
+	c.add("a", st(1))
+	c.add("b", st(2))
+	if _, ok := c.get("a"); !ok { // refresh a: b becomes the eviction victim
+		t.Fatal("a missing")
+	}
+	c.add("c", st(3))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted (least recently used)")
+	}
+	for _, want := range []string{"a", "c"} {
+		if _, ok := c.get(want); !ok {
+			t.Fatalf("%s missing after eviction", want)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+}
+
+func TestLRURefreshDoesNotGrow(t *testing.T) {
+	c := newLRU(2)
+	st := &swarm.Stats{Cycles: 9}
+	c.add("a", st)
+	c.add("a", st)
+	if c.len() != 1 {
+		t.Fatalf("duplicate add grew the cache to %d entries", c.len())
+	}
+}
+
+// TestSingleflightUnderRace is the concurrency contract (run under -race in
+// CI): 32 goroutines hammer the same configuration concurrently; exactly
+// one simulation executes, every caller gets byte-identical output, and the
+// hit/miss/coalesced counters account for every request.
+func TestSingleflightUnderRace(t *testing.T) {
+	svc := New(Options{Workers: 4, Validate: true})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	const callers = 32
+	body := `{"bench":"des","sched":"hints","cores":4,"scale":"tiny"}`
+	bodies := make([][]byte, callers)
+	sources := make([]string, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("caller %d: status %d", i, resp.StatusCode)
+				return
+			}
+			bodies[i], err = io.ReadAll(resp.Body)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			sources[i] = resp.Header.Get("X-Swarmd-Source")
+		}()
+	}
+	wg.Wait()
+
+	for i := 1; i < callers; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("caller %d got different bytes than caller 0", i)
+		}
+	}
+	if len(bodies[0]) == 0 {
+		t.Fatal("empty response body")
+	}
+
+	c := svc.Counters()
+	if c.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 simulation executed", c.Misses)
+	}
+	if got := c.RunsByBench["des"]; got != 1 {
+		t.Errorf("runs[des] = %d, want 1", got)
+	}
+	if total := c.Hits + c.Misses + c.Coalesced; total != callers {
+		t.Errorf("hits(%d)+misses(%d)+coalesced(%d) = %d, want %d",
+			c.Hits, c.Misses, c.Coalesced, total, callers)
+	}
+	// Every non-executing caller was either coalesced onto the in-flight
+	// run or answered from the already-filled cache.
+	ran := 0
+	for _, src := range sources {
+		if src == string(SourceRun) {
+			ran++
+		}
+	}
+	if ran != 1 {
+		t.Errorf("%d callers report source=run, want 1", ran)
+	}
+	if c.Queued != 0 || c.InFlight != 0 {
+		t.Errorf("gauges not drained: queued=%d inflight=%d", c.Queued, c.InFlight)
+	}
+}
+
+// TestStatsWarmCacheSkipsExecution pins the caching behavior at the API
+// level: a repeat of a completed configuration is a pure cache hit.
+func TestStatsWarmCacheSkipsExecution(t *testing.T) {
+	svc := New(Options{Workers: 2, Validate: true})
+	defer svc.Close()
+	ctx := context.Background()
+	cfg := tinyConfig("bfs", 1)
+
+	st1, src1, err := svc.Stats(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src1 != SourceRun {
+		t.Fatalf("cold call source = %v, want run", src1)
+	}
+	st2, src2, err := svc.Stats(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src2 != SourceCache {
+		t.Fatalf("warm call source = %v, want cache", src2)
+	}
+	if st1 != st2 {
+		t.Fatal("warm call returned a different stats object than the cached run")
+	}
+	c := svc.Counters()
+	if c.Hits != 1 || c.Misses != 1 || c.Cached != 1 {
+		t.Fatalf("counters hits=%d misses=%d cached=%d, want 1/1/1", c.Hits, c.Misses, c.Cached)
+	}
+}
+
+// TestStatsCanceledWhileQueued checks an abandoned request frees its queue
+// position without executing.
+func TestStatsCanceledWhileQueued(t *testing.T) {
+	svc := New(Options{Workers: 1, Validate: true})
+	defer svc.Close()
+	// Occupy the only worker slot.
+	svc.sem <- struct{}{}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := svc.Stats(ctx, tinyConfig("bfs", 1))
+	if err == nil {
+		t.Fatal("canceled request executed anyway")
+	}
+	<-svc.sem
+	c := svc.Counters()
+	if c.Queued != 0 {
+		t.Fatalf("queue depth %d after canceled request, want 0", c.Queued)
+	}
+	if len(c.RunsByBench) != 0 {
+		t.Fatalf("canceled request recorded a run: %v", c.RunsByBench)
+	}
+}
+
+// TestCoalescedSurvivesLeaderCancel checks a coalesced caller is not
+// failed by the flight leader's disconnect: the shared run executes under
+// the flight's own context, which lives as long as any caller wants the
+// result.
+func TestCoalescedSurvivesLeaderCancel(t *testing.T) {
+	svc := New(Options{Workers: 1, Validate: true})
+	defer svc.Close()
+	// Occupy the only worker slot so the leader queues inside its flight.
+	svc.sem <- struct{}{}
+	cfg := tinyConfig("bfs", 1)
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	type outcome struct {
+		st  *swarm.Stats
+		src Source
+		err error
+	}
+	leaderDone := make(chan outcome, 1)
+	go func() {
+		st, src, err := svc.Stats(leaderCtx, cfg)
+		leaderDone <- outcome{st, src, err}
+	}()
+	waitFor := func(cond func() bool, what string) {
+		t.Helper()
+		for i := 0; i < 2000 && !cond(); i++ {
+			time.Sleep(time.Millisecond)
+		}
+		if !cond() {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+	}
+	waitFor(func() bool { return svc.Counters().Queued == 1 }, "leader to queue")
+
+	waiterDone := make(chan outcome, 1)
+	go func() {
+		st, src, err := svc.Stats(context.Background(), cfg)
+		waiterDone <- outcome{st, src, err}
+	}()
+	waitFor(func() bool { return svc.Counters().Coalesced == 1 }, "waiter to coalesce")
+
+	// The leader's request dies, then the fleet frees up.
+	cancelLeader()
+	<-svc.sem
+
+	waiter := <-waiterDone
+	if waiter.err != nil {
+		t.Fatalf("coalesced caller failed after leader cancel: %v", waiter.err)
+	}
+	if waiter.src != SourceCoalesced || waiter.st == nil {
+		t.Fatalf("waiter outcome src=%v st=%v", waiter.src, waiter.st)
+	}
+	<-leaderDone // the leader goroutine ran the flight to completion
+	if c := svc.Counters(); c.RunsByBench["bfs"] != 1 || c.Cached != 1 {
+		t.Fatalf("flight result not recorded: %+v", c)
+	}
+}
+
+// TestFlightAbandonedByAllCallersAborts checks the complementary property:
+// when every interested caller is gone, the queued flight stops consuming
+// the fleet instead of running to completion.
+func TestFlightAbandonedByAllCallersAborts(t *testing.T) {
+	svc := New(Options{Workers: 1, Validate: true})
+	defer svc.Close()
+	svc.sem <- struct{}{}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := svc.Stats(ctx, tinyConfig("bfs", 4))
+		done <- err
+	}()
+	for i := 0; i < 2000 && svc.Counters().Queued != 1; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	err := <-done
+	if err == nil {
+		t.Fatal("fully abandoned flight still produced a result")
+	}
+	<-svc.sem
+	if c := svc.Counters(); len(c.RunsByBench) != 0 {
+		t.Fatalf("abandoned flight executed: %+v", c.RunsByBench)
+	}
+}
+
+func TestSweepRequestParseValidation(t *testing.T) {
+	bad := []SweepRequest{
+		{},
+		{Benches: []string{"des"}, Scheds: []string{"hints"}},
+		{Benches: []string{"no-such"}, Scheds: []string{"hints"}, Cores: []int{1}},
+		{Benches: []string{"des"}, Scheds: []string{"warp-speed"}, Cores: []int{1}},
+		{Benches: []string{"des"}, Scheds: []string{"hints"}, Cores: []int{0}},
+		{Benches: []string{"des"}, Scheds: []string{"hints"}, Cores: []int{1}, Scale: "giant"},
+	}
+	for i, req := range bad {
+		if _, _, _, err := req.parse(); err == nil {
+			t.Errorf("bad request %d parsed cleanly: %+v", i, req)
+		}
+	}
+	req := SweepRequest{
+		Benches: []string{"des", "des"}, // duplicates collapse
+		Scheds:  []string{"random", "hints"},
+		Cores:   []int{4, 1},
+		Scale:   "tiny",
+	}
+	points, scale, seed, err := req.parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != bench.Tiny || seed != 7 {
+		t.Fatalf("harness = (%v, %d), want (tiny, 7)", scale, seed)
+	}
+	if len(points) != 4 {
+		t.Fatalf("grid has %d points, want 4 after dedup", len(points))
+	}
+	// Canonical order: by scheduler (Random < Hints), then cores.
+	want := []exp.Point{
+		{Name: "des", Kind: swarm.Random, Cores: 1},
+		{Name: "des", Kind: swarm.Random, Cores: 4},
+		{Name: "des", Kind: swarm.Hints, Cores: 1},
+		{Name: "des", Kind: swarm.Hints, Cores: 4},
+	}
+	for i := range want {
+		if points[i] != want[i] {
+			t.Fatalf("point %d = %+v, want %+v", i, points[i], want[i])
+		}
+	}
+}
+
+func TestHealthzAndExperimentList(t *testing.T) {
+	svc := New(DefaultOptions())
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(b), `"ok"`) {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, b)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []struct{ ID, Title string }
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != len(exp.Registry) {
+		t.Fatalf("experiment list has %d entries, want %d", len(list), len(exp.Registry))
+	}
+	if list[0].ID != "table1" {
+		t.Fatalf("experiment list not in paper order: %+v", list[0])
+	}
+}
+
+func TestRunRequestRejectsUnknownFields(t *testing.T) {
+	svc := New(DefaultOptions())
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json",
+		strings.NewReader(`{"bench":"des","sched":"hints","coores":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("typoed field accepted: status %d", resp.StatusCode)
+	}
+}
+
+// TestPromMetricsWellFormed checks /metrics speaks the exposition format
+// and carries the counters the acceptance criteria rely on.
+func TestPromMetricsWellFormed(t *testing.T) {
+	svc := New(Options{Workers: 1, Validate: true})
+	defer svc.Close()
+	if _, _, err := svc.Stats(context.Background(), tinyConfig("bfs", 1)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	out := string(b)
+	for _, want := range []string{
+		"# TYPE swarmd_cache_hits_total counter",
+		"swarmd_cache_misses_total 1",
+		"swarmd_cache_entries 1",
+		"# TYPE swarmd_queue_depth gauge",
+		fmt.Sprintf("swarmd_runs_total{bench=%q} 1", "bfs"),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
