@@ -16,8 +16,11 @@ import (
 	"testing"
 
 	"swarmhints/internal/bench"
+	"swarmhints/internal/conflict"
 	"swarmhints/internal/exp"
+	"swarmhints/internal/mem"
 	"swarmhints/internal/runner"
+	"swarmhints/internal/task"
 	"swarmhints/swarm"
 )
 
@@ -152,6 +155,82 @@ func BenchmarkEngineContended(b *testing.B) {
 	engineBench(b, build, 16, swarm.Hints)
 }
 
+// BenchmarkConflictIndex measures the conflict-detection structure in
+// isolation: a rolling window of tasks registering reads and writes over a
+// shared address pool, queried (hit and miss addresses) and removed — the
+// register/query/remove cycle every simulated access pays.
+func BenchmarkConflictIndex(b *testing.B) {
+	const (
+		window  = 256 // live tasks
+		addrs   = 1024
+		perTask = 8
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ix := conflict.NewIndex(nil)
+		tasks := make([]*task.Task, window)
+		for j := range tasks {
+			t := task.NewTask(uint64(j+1), 0, uint64(j), task.HintNone, 0, nil)
+			t.State = task.Running
+			tasks[j] = t
+		}
+		b.StartTimer()
+		for round := 0; round < 64; round++ {
+			for j, t := range tasks {
+				// Deterministic pseudo-random-ish address pattern.
+				base := uint64((round*31 + j*perTask) % addrs)
+				for k := 0; k < perTask; k++ {
+					a := 0x10000 + ((base + uint64(k*37)) % addrs * 8)
+					if k%2 == 0 {
+						ix.OnRead(t, a)
+						t.Reads = append(t.Reads, a)
+					} else {
+						ix.OnWrite(t, a)
+						t.Writes = append(t.Writes, a)
+					}
+					ix.LaterWriters(a, t.Ord(), t, 0)
+					// Miss query: address outside the registered pool,
+					// the pre-filter's fast path.
+					ix.LaterAccessors(0x900000+a, t.Ord(), t, 0)
+				}
+			}
+			for _, t := range tasks {
+				ix.Remove(t)
+				t.ResetAttempt()
+			}
+		}
+	}
+}
+
+// BenchmarkMemLoadStore measures the sparse-memory fast path: strided loads
+// and stores sweeping a 4 MB working set (page-local runs mixed with page
+// crossings), the two operations every simulated memory access performs.
+func BenchmarkMemLoadStore(b *testing.B) {
+	const words = 1 << 19 // 4 MB
+	m := mem.New()
+	base := m.AllocWords(words)
+	for w := uint64(0); w < words; w += 64 {
+		m.StoreRaw(base+w*8, w)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		for w := uint64(0); w < words; w++ {
+			a := base + w*8
+			sink += m.Load(a)
+			if w%3 == 0 {
+				m.StoreRaw(a, sink)
+			}
+		}
+	}
+	if sink == 1 {
+		b.Fatal("impossible; defeats dead-code elimination")
+	}
+}
+
 // trajectoryPoint is one recorded perf-trajectory measurement, written as
 // BENCH_<rev>.json by TestBenchTrajectory (see README, "Perf trajectory").
 type trajectoryPoint struct {
@@ -190,6 +269,8 @@ func TestBenchTrajectory(t *testing.T) {
 	}{
 		{"EngineEnqueueCommit", BenchmarkEngineEnqueueCommit},
 		{"EngineContended", BenchmarkEngineContended},
+		{"ConflictIndex", BenchmarkConflictIndex},
+		{"MemLoadStore", BenchmarkMemLoadStore},
 		{"SweepRunner", BenchmarkSweepRunner},
 	} {
 		res := testing.Benchmark(b.fn)

@@ -1,0 +1,174 @@
+// Command benchgate compares a freshly recorded perf-trajectory point
+// (BENCH_<rev>.json, written by TestBenchTrajectory) against the committed
+// baseline and fails when any benchmark regresses beyond the allowed
+// thresholds. CI runs it on every push, turning the perf trajectory from a
+// passive artifact into a gate: a change that silently makes the engine
+// allocate more per task, or meaningfully slower, fails the build.
+//
+// Allocations per op are deterministic and machine-independent, so they get
+// the tight threshold. Wall-clock ns/op varies across runner hardware, so it
+// is gated after calibration: the -ns-calibrate benchmark (default
+// MemLoadStore — allocation-free, single-threaded, deterministic work) acts
+// as a machine-speed probe, and every other benchmark's ns baseline is
+// scaled by its current/baseline ratio before the threshold applies. A
+// uniformly slower or faster runner cancels out; a regression localized to
+// one benchmark does not. Benchmarks whose wall clock depends on host
+// parallelism (the sweep runner) can be excluded from the ns gate via
+// -skip-ns while still being checked for allocation regressions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type point struct {
+	Schema     string `json:"schema"`
+	Rev        string `json:"rev"`
+	Benchmarks []row  `json:"benchmarks"`
+}
+
+type row struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	TasksPerOp  float64 `json:"tasksPerOp,omitempty"`
+}
+
+func load(path string) (*point, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p point
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if p.Schema != "swarmhints.bench.v1" {
+		return nil, fmt.Errorf("%s: unexpected schema %q", path, p.Schema)
+	}
+	return &p, nil
+}
+
+func pct(cur, base int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (float64(cur) - float64(base)) / float64(base)
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline trajectory point")
+	currentPath := flag.String("current", "", "freshly recorded trajectory point (BENCH_<rev>.json)")
+	maxAllocsPct := flag.Float64("max-allocs-pct", 20, "fail when allocs/op regresses more than this percentage")
+	maxNsPct := flag.Float64("max-ns-pct", 35, "fail when calibrated ns/op regresses more than this percentage")
+	skipNs := flag.String("skip-ns", "SweepRunner", "comma-separated benchmarks excluded from the ns/op gate (host-parallelism dependent)")
+	calibrate := flag.String("ns-calibrate", "MemLoadStore", "benchmark used as the machine-speed probe for the ns gate; empty disables calibration")
+	maxProbeFactor := flag.Float64("max-probe-factor", 3, "fail when the probe itself is this many times slower than baseline (catches regressions hiding in the calibration scale)")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	skip := map[string]bool{}
+	for _, n := range strings.Split(*skipNs, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			skip[n] = true
+		}
+	}
+	curBy := map[string]row{}
+	for _, r := range cur.Benchmarks {
+		curBy[r.Name] = r
+	}
+
+	// Machine-speed calibration factor for the ns gate: how much slower
+	// (or faster) this host runs the probe benchmark than the host that
+	// recorded the baseline. The probe is excluded from the calibrated ns
+	// gate (it defines the scale) but bounded absolutely: a probe that
+	// slowed past -max-probe-factor is either a regression in the memory
+	// fast path itself — which calibration would otherwise launder into
+	// every other benchmark's threshold — or a machine so much slower that
+	// the baseline needs re-recording; both must fail loudly.
+	speed := 1.0
+	probeFailed := false
+	if *calibrate != "" {
+		c, ok := curBy[*calibrate]
+		var b *row
+		for i := range base.Benchmarks {
+			if base.Benchmarks[i].Name == *calibrate {
+				b = &base.Benchmarks[i]
+			}
+		}
+		if ok && b != nil && b.NsPerOp > 0 && c.NsPerOp > 0 {
+			speed = float64(c.NsPerOp) / float64(b.NsPerOp)
+			probeFailed = speed > *maxProbeFactor
+		}
+		skip[*calibrate] = true
+	}
+
+	fmt.Printf("benchgate: %s (baseline %s) vs %s (rev %s), machine-speed factor %.2fx\n",
+		*baselinePath, base.Rev, *currentPath, cur.Rev, speed)
+	fmt.Printf("%-22s %14s %14s %9s %12s %12s %9s\n",
+		"benchmark", "base ns/op", "cur ns/op", "Δns*", "base allocs", "cur allocs", "Δallocs")
+	failed := false
+	for _, b := range base.Benchmarks {
+		c, ok := curBy[b.Name]
+		if !ok {
+			// A benchmark that vanished is a rotted gate, not a pass.
+			fmt.Printf("%-22s MISSING from current point\n", b.Name)
+			failed = true
+			continue
+		}
+		nsD := pct(c.NsPerOp, int64(float64(b.NsPerOp)*speed))
+		alD := pct(c.AllocsPerOp, b.AllocsPerOp)
+		verdict := ""
+		if alD > *maxAllocsPct || (b.AllocsPerOp == 0 && c.AllocsPerOp > 0) {
+			verdict = fmt.Sprintf("  FAIL allocs/op %d -> %d (limit +%.0f%%)", b.AllocsPerOp, c.AllocsPerOp, *maxAllocsPct)
+			failed = true
+		}
+		if !skip[b.Name] && b.NsPerOp > 0 && nsD > *maxNsPct {
+			verdict += fmt.Sprintf("  FAIL ns/op +%.1f%% calibrated > %.0f%%", nsD, *maxNsPct)
+			failed = true
+		}
+		fmt.Printf("%-22s %14d %14d %8.1f%% %12d %12d %8.1f%%%s\n",
+			b.Name, b.NsPerOp, c.NsPerOp, nsD, b.AllocsPerOp, c.AllocsPerOp, alD, verdict)
+	}
+	if probeFailed {
+		fmt.Printf("FAIL: calibration probe %s is %.2fx slower than baseline (limit %.1fx) — memory fast-path regression, or re-record BENCH_baseline.json on this hardware\n",
+			*calibrate, speed, *maxProbeFactor)
+		failed = true
+	}
+	// The symmetric rot check: a benchmark recorded in the current point
+	// but absent from the baseline runs ungated until the baseline is
+	// ratcheted — fail so the ratchet cannot be forgotten.
+	baseNames := map[string]bool{}
+	for _, b := range base.Benchmarks {
+		baseNames[b.Name] = true
+	}
+	for _, c := range cur.Benchmarks {
+		if !baseNames[c.Name] {
+			fmt.Printf("%-22s MISSING from baseline — re-record BENCH_baseline.json to gate it\n", c.Name)
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Println("benchgate: FAIL — perf trajectory regressed past thresholds")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}

@@ -6,6 +6,7 @@
 package cache
 
 import (
+	"swarmhints/internal/flat"
 	"swarmhints/internal/hashutil"
 	"swarmhints/internal/mem"
 	"swarmhints/internal/metrics"
@@ -160,7 +161,14 @@ type Hierarchy struct {
 	l1       []*array // per core
 	l2       []*array // per tile
 	l3       []*array // per tile (bank)
-	dir      map[uint64]*dirEntry
+
+	// dir is the in-cache coherence directory. Every simulated access
+	// consults it up to three times (exclusivity check, remote-copy check,
+	// state update), so it sits on a flat open-addressing table with entry
+	// recycling instead of a runtime map — lines enter on first sharing and
+	// leave on L3 eviction, churning constantly.
+	dir     flat.Table[dirEntry]
+	dirPool mem.Pool[dirEntry]
 }
 
 // New builds the hierarchy for mesh.Tiles() tiles with coresPerTile cores.
@@ -176,7 +184,6 @@ func New(cfg Config, mesh *noc.Mesh, coresPerTile int) *Hierarchy {
 		l1:       make([]*array, tiles*coresPerTile),
 		l2:       make([]*array, tiles),
 		l3:       make([]*array, tiles),
-		dir:      make(map[uint64]*dirEntry),
 	}
 	for i := range h.l1 {
 		h.l1[i] = newArray(cfg.L1)
@@ -185,6 +192,15 @@ func New(cfg Config, mesh *noc.Mesh, coresPerTile int) *Hierarchy {
 		h.l2[i] = newArray(cfg.L2)
 		h.l3[i] = newArray(cfg.L3Bank)
 	}
+	// The directory tracks up to every L3-resident line; pre-size to skip
+	// most of the growth ladder, but cap the reservation — large default
+	// configs would otherwise zero megabytes per engine even for tiny
+	// workloads that touch a fraction of the capacity.
+	reserve := tiles * cfg.L3Bank.Lines() / 2
+	if reserve > 4096 {
+		reserve = 4096
+	}
+	h.dir.Reserve(reserve)
 	return h
 }
 
@@ -227,7 +243,7 @@ func (h *Hierarchy) Access(core, tile int, addr uint64, write bool, class noc.Ms
 			h.rec.Tile(tile).L1Hits++
 			return lat
 		}
-		if e := h.dir[line]; e == nil || (e.sharers == 1<<uint(tile) && e.owner <= int8(tile)) {
+		if e := h.dir.Get(line); e == nil || (e.sharers == 1<<uint(tile) && e.owner <= int8(tile)) {
 			l1.touch(idx, true)
 			h.l2mark(tile, line, true)
 			h.rec.Tile(tile).L1Hits++
@@ -257,11 +273,7 @@ func (h *Hierarchy) Access(core, tile int, addr uint64, write bool, class noc.Ms
 	lat += h.mesh.Send(class, tile, home, 8) // request
 	lat += h.cfg.L3Latency
 
-	e := h.dir[line]
-	if e == nil {
-		e = &dirEntry{owner: -1}
-		h.dir[line] = e
-	}
+	e := h.dirEntryFor(line)
 
 	if write {
 		// Invalidate all remote copies; latency is bounded by the furthest
@@ -328,9 +340,21 @@ func (h *Hierarchy) Access(core, tile int, addr uint64, write bool, class noc.Ms
 	return lat
 }
 
+// dirEntryFor returns the directory entry for line, materializing a fresh
+// (pooled) one when the line is not yet tracked.
+func (h *Hierarchy) dirEntryFor(line uint64) *dirEntry {
+	e := h.dir.Get(line)
+	if e == nil {
+		e = h.dirPool.Get()
+		e.sharers, e.owner = 0, -1
+		h.dir.Put(line, e)
+	}
+	return e
+}
+
 // hasRemoteCopies reports whether any tile other than tile holds line.
 func (h *Hierarchy) hasRemoteCopies(line uint64, tile int) bool {
-	e := h.dir[line]
+	e := h.dir.Get(line)
 	if e == nil {
 		return false
 	}
@@ -338,11 +362,7 @@ func (h *Hierarchy) hasRemoteCopies(line uint64, tile int) bool {
 }
 
 func (h *Hierarchy) setOwner(line uint64, tile int) {
-	e := h.dir[line]
-	if e == nil {
-		e = &dirEntry{owner: -1}
-		h.dir[line] = e
-	}
+	e := h.dirEntryFor(line)
 	e.owner = int8(tile)
 	e.sharers |= 1 << uint(tile)
 }
@@ -381,7 +401,7 @@ func (h *Hierarchy) evictL2(victim uint64, tile int, dirty bool, class noc.MsgCl
 	for c := 0; c < h.coresPer; c++ {
 		h.l1[base+c].invalidate(victim) // inclusion
 	}
-	if e := h.dir[victim]; e != nil {
+	if e := h.dir.Get(victim); e != nil {
 		e.sharers &^= 1 << uint(tile)
 		if e.owner == int8(tile) {
 			e.owner = -1
@@ -396,13 +416,13 @@ func (h *Hierarchy) evictL2(victim uint64, tile int, dirty bool, class noc.MsgCl
 // evictL3 enforces inclusion: dropping an L3 line invalidates every L2/L1
 // copy, and dirty data goes to the memory controller.
 func (h *Hierarchy) evictL3(victim uint64, home int, dirty bool, class noc.MsgClass) {
-	if e := h.dir[victim]; e != nil {
+	if e := h.dir.Delete(victim); e != nil {
 		for t := 0; t < len(h.l2); t++ {
 			if e.sharers&(1<<uint(t)) != 0 {
 				h.invalidateTile(t, victim, class)
 			}
 		}
-		delete(h.dir, victim)
+		h.dirPool.Put(e)
 	}
 	if dirty {
 		h.rec.Tile(home).Writebacks++

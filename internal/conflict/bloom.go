@@ -5,61 +5,9 @@
 // when an earlier task touches conflicting data.
 package conflict
 
-import "swarmhints/internal/hashutil"
+import "swarmhints/internal/sig"
 
-// bloomBits and bloomWays mirror Table II: 2 Kbit, 8-way.
-const (
-	bloomBits = 2048
-	bloomWays = 8
-)
-
-var bloomHashes = func() [bloomWays]*hashutil.H3 {
-	var hs [bloomWays]*hashutil.H3
-	for i := range hs {
-		hs[i] = hashutil.NewH3(uint64(0xb100 + i))
-	}
-	return hs
-}()
-
-// Bloom is a fixed-size Bloom filter over word addresses, modelling the
-// read- or write-set signature a Swarm tile keeps per speculative task.
-type Bloom struct {
-	bits [bloomBits / 64]uint64
-	n    int
-}
-
-// Add inserts a word address.
-func (b *Bloom) Add(addr uint64) {
-	for _, h := range bloomHashes {
-		i := h.Hash(addr) % bloomBits
-		b.bits[i/64] |= 1 << (i % 64)
-	}
-	b.n++
-}
-
-// MayContain reports whether addr may be in the set (no false negatives).
-func (b *Bloom) MayContain(addr uint64) bool {
-	for _, h := range bloomHashes {
-		i := h.Hash(addr) % bloomBits
-		if b.bits[i/64]&(1<<(i%64)) == 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// Intersects reports whether the two filters may share an element.
-func (b *Bloom) Intersects(o *Bloom) bool {
-	for i := range b.bits {
-		if b.bits[i]&o.bits[i] != 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// Len returns the number of inserted addresses.
-func (b *Bloom) Len() int { return b.n }
-
-// Reset clears the filter for task re-execution.
-func (b *Bloom) Reset() { *b = Bloom{} }
+// Bloom is the per-task read/write-set signature. The implementation lives
+// in internal/sig (a leaf package below task) so task descriptors can embed
+// their signatures directly; the alias keeps this package's historical API.
+type Bloom = sig.Bloom

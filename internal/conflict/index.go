@@ -1,26 +1,61 @@
 package conflict
 
 import (
+	"swarmhints/internal/flat"
 	"swarmhints/internal/mem"
 	"swarmhints/internal/metrics"
+	"swarmhints/internal/sig"
 	"swarmhints/internal/task"
 )
 
 // Index is the precise per-address accessor map used for conflict detection.
 // Swarm filters checks through Bloom signatures and then resolves precisely;
 // the Index is the resolution step. Word-granularity, like the undo logs.
+//
+// The resolution path is filter-first and map-free: every registered access
+// populates the task's per-attempt read/write Bloom signature and a counting
+// presence filter that is the union of all live signatures, and every query
+// consults that filter before probing the precise index — a flat
+// open-addressing table — so accesses to quiet addresses (the common case)
+// skip the walk entirely. The filter has no false negatives, and a skipped
+// walk would have performed zero timestamp comparisons, so the modeled
+// comparison counts are bit-identical with and without the pre-filter.
 type Index struct {
-	m map[uint64]*entry
+	tab flat.Table[entry]
+
+	// filt is the counting union of all live task signatures: one Add per
+	// OnRead/OnWrite registration, one Remove per Reads/Writes entry on
+	// Remove. A negative lookup proves no live signature contains the
+	// address, i.e. the precise index holds no entry for it.
+	filt sig.Filter
+
+	// memo caches the signature bit positions of the last-hashed address:
+	// an access checks the filter, registers, and re-queries the same
+	// address several times in a row, and each reuse skips 8 H3 hashes.
+	memoAddr uint64
+	memoOK   bool
+	memoIdx  sig.Indices
+
 	// rec receives per-tile counts of timestamp comparisons performed,
 	// which the simulator turns into conflict-check latency (Table II:
 	// 5 cycles + 1 cycle per timestamp compared). Query methods take the
 	// tile on whose behalf the check runs.
 	rec *metrics.Recorder
 
-	// AbortSet scratch, reused across aborts so closure computation does
-	// not allocate. Valid until the next AbortSet call; per-Index, so
-	// concurrent engines in a sweep never share it.
-	setScratch  map[*task.Task]bool
+	// Query epochs: a task with SeenStamp == scanEpoch has already been
+	// collected by the current LaterAccessors walk; AbortStamp == abortEpoch
+	// means membership in the most recent AbortSet closure. Epochs bump
+	// before use, so stamp 0 (fresh or recycled task) never matches.
+	scanEpoch  uint64
+	abortEpoch uint64
+
+	// Reused query result buffers. Each query method overwrites its own
+	// buffer on the next call; AbortSet's internal accessor walks use a
+	// separate buffer so a caller may abort tasks while iterating a
+	// LaterWriters/LaterAccessors result.
+	wrScratch   []*task.Task // LaterWriters results
+	accScratch  []*task.Task // LaterAccessors results
+	absScratch  []*task.Task // AbortSet's internal LaterAccessors walks
 	workScratch []*task.Task
 	outScratch  []*task.Task
 
@@ -28,6 +63,11 @@ type Index struct {
 	// Remove deleted once their address went quiet; most addresses cycle
 	// between empty and occupied throughout a run.
 	entryPool mem.Pool[entry]
+
+	// sigPool recycles the per-attempt signature blocks attached to tasks
+	// on their first registered access and reclaimed (cleared) on Remove.
+	// Lazy attachment keeps pure-enqueue tasks signature-free.
+	sigPool mem.Pool[sig.Attempt]
 }
 
 type entry struct {
@@ -41,7 +81,7 @@ func NewIndex(rec *metrics.Recorder) *Index {
 	if rec == nil {
 		rec = metrics.New(1)
 	}
-	return &Index{m: make(map[uint64]*entry), rec: rec}
+	return &Index{rec: rec}
 }
 
 // comp returns the comparison counter for tile, clamping out-of-range
@@ -58,11 +98,21 @@ func (ix *Index) comp(tile int) *uint64 {
 // over tiles.
 func (ix *Index) Comparisons() uint64 { return ix.rec.Aggregate().Comparisons }
 
+// indices returns the signature bit positions for addr through the one-entry
+// memo.
+func (ix *Index) indices(addr uint64) *sig.Indices {
+	if !ix.memoOK || ix.memoAddr != addr {
+		ix.memoIdx = sig.IndicesFor(addr)
+		ix.memoAddr, ix.memoOK = addr, true
+	}
+	return &ix.memoIdx
+}
+
 func (ix *Index) get(addr uint64) *entry {
-	e := ix.m[addr]
+	e := ix.tab.Get(addr)
 	if e == nil {
 		e = ix.entryPool.Get()
-		ix.m[addr] = e
+		ix.tab.Put(addr, e)
 	}
 	return e
 }
@@ -72,18 +122,36 @@ func (ix *Index) get(addr uint64) *entry {
 func (ix *Index) release(addr uint64, e *entry) {
 	e.readers = e.readers[:0]
 	e.writers = e.writers[:0]
-	delete(ix.m, addr)
+	ix.tab.Delete(addr)
 	ix.entryPool.Put(e)
 }
 
-// OnRead registers a speculative read.
+// sigs returns the task's attempt signatures, attaching a pooled block on
+// the attempt's first registered access. Blocks come back from Remove
+// cleared, so attachment is pointer assignment, not a 4 Kbit memset.
+func (ix *Index) sigs(t *task.Task) *sig.Attempt {
+	if t.Sigs == nil {
+		t.Sigs = ix.sigPool.Get()
+	}
+	return t.Sigs
+}
+
+// OnRead registers a speculative read, stamping the task's read signature
+// and the presence filter.
 func (ix *Index) OnRead(t *task.Task, addr uint64) {
+	idx := ix.indices(addr)
+	ix.sigs(t).Read.AddIndices(idx)
+	ix.filt.Add(idx)
 	e := ix.get(addr)
 	e.readers = append(e.readers, t)
 }
 
-// OnWrite registers a speculative write.
+// OnWrite registers a speculative write, stamping the task's write signature
+// and the presence filter.
 func (ix *Index) OnWrite(t *task.Task, addr uint64) {
+	idx := ix.indices(addr)
+	ix.sigs(t).Write.AddIndices(idx)
+	ix.filt.Add(idx)
 	e := ix.get(addr)
 	e.writers = append(e.writers, t)
 }
@@ -91,19 +159,27 @@ func (ix *Index) OnWrite(t *task.Task, addr uint64) {
 // LaterWriters returns uncommitted writers of addr ordered after o,
 // excluding self. A read by a task ordered at o must abort these: the
 // reader must not observe data from its logical future. tile is the tile
-// performing the check, for comparison attribution.
+// performing the check, for comparison attribution. The returned slice is
+// scratch, valid until the next LaterWriters call on this Index.
 func (ix *Index) LaterWriters(addr uint64, o task.Order, self *task.Task, tile int) []*task.Task {
-	e := ix.m[addr]
+	if !ix.filt.MayContain(ix.indices(addr)) {
+		return nil
+	}
+	e := ix.tab.Get(addr)
 	if e == nil {
 		return nil
 	}
 	comp := ix.comp(tile)
-	var out []*task.Task
+	out := ix.wrScratch[:0]
 	for _, w := range e.writers {
 		*comp++
 		if w != self && w.State != task.Committed && o.Before(w.Ord()) {
 			out = append(out, w)
 		}
+	}
+	ix.wrScratch = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -113,7 +189,10 @@ func (ix *Index) LaterWriters(addr uint64, o task.Order, self *task.Task, tile i
 // o observes; the engine uses it to model forwarding latency — a consumer
 // cannot complete before the producer's execution produced the value.
 func (ix *Index) LatestEarlierWriter(addr uint64, o task.Order, self *task.Task, tile int) *task.Task {
-	e := ix.m[addr]
+	if !ix.filt.MayContain(ix.indices(addr)) {
+		return nil
+	}
+	e := ix.tab.Get(addr)
 	if e == nil {
 		return nil
 	}
@@ -133,42 +212,55 @@ func (ix *Index) LatestEarlierWriter(addr uint64, o task.Order, self *task.Task,
 // LaterAccessors returns uncommitted tasks ordered after o that read or
 // wrote addr, excluding self. A write by a task ordered at o must abort all
 // of these (readers observed a stale value; writers' undo chains would
-// unwind incorrectly otherwise). tile attributes the comparisons.
+// unwind incorrectly otherwise). tile attributes the comparisons. The
+// returned slice is scratch, valid until the next LaterAccessors call on
+// this Index (AbortSet's internal walks use a separate buffer, so aborting
+// returned tasks while iterating is safe).
 func (ix *Index) LaterAccessors(addr uint64, o task.Order, self *task.Task, tile int) []*task.Task {
-	e := ix.m[addr]
+	ix.accScratch = ix.laterAccessorsInto(ix.accScratch[:0], addr, o, self, tile)
+	return ix.accScratch
+}
+
+// laterAccessorsInto appends the later accessors of addr to dst. Dedup —
+// a task that both read and wrote addr, or read it twice, must appear once —
+// is an epoch stamp on the task, bumped per walk, replacing the quadratic
+// membership scan over the result slice.
+func (ix *Index) laterAccessorsInto(dst []*task.Task, addr uint64, o task.Order, self *task.Task, tile int) []*task.Task {
+	if !ix.filt.MayContain(ix.indices(addr)) {
+		return dst
+	}
+	e := ix.tab.Get(addr)
 	if e == nil {
-		return nil
+		return dst
 	}
+	ix.scanEpoch++
+	ep := ix.scanEpoch
 	comp := ix.comp(tile)
-	var out []*task.Task
-	seen := func(t *task.Task) bool {
-		for _, x := range out {
-			if x == t {
-				return true
-			}
-		}
-		return false
-	}
 	for _, r := range e.readers {
 		*comp++
-		if r != self && r.State != task.Committed && o.Before(r.Ord()) && !seen(r) {
-			out = append(out, r)
+		if r != self && r.State != task.Committed && o.Before(r.Ord()) && r.SeenStamp != ep {
+			r.SeenStamp = ep
+			dst = append(dst, r)
 		}
 	}
 	for _, w := range e.writers {
 		*comp++
-		if w != self && w.State != task.Committed && o.Before(w.Ord()) && !seen(w) {
-			out = append(out, w)
+		if w != self && w.State != task.Committed && o.Before(w.Ord()) && w.SeenStamp != ep {
+			w.SeenStamp = ep
+			dst = append(dst, w)
 		}
 	}
-	return out
+	return dst
 }
 
 // Remove unregisters a task from every address it touched in its current
-// attempt. Call on commit and on abort (before ResetAttempt).
+// attempt. Call on commit and on abort (before ResetAttempt). Every
+// registration's presence-filter count is released, mirroring the OnRead/
+// OnWrite that created it.
 func (ix *Index) Remove(t *task.Task) {
 	for _, a := range t.Reads {
-		if e := ix.m[a]; e != nil {
+		ix.filt.Remove(ix.indices(a))
+		if e := ix.tab.Get(a); e != nil {
 			e.readers = removeTask(e.readers, t)
 			if len(e.readers) == 0 && len(e.writers) == 0 {
 				ix.release(a, e)
@@ -176,12 +268,18 @@ func (ix *Index) Remove(t *task.Task) {
 		}
 	}
 	for _, a := range t.Writes {
-		if e := ix.m[a]; e != nil {
+		ix.filt.Remove(ix.indices(a))
+		if e := ix.tab.Get(a); e != nil {
 			e.writers = removeTask(e.writers, t)
 			if len(e.readers) == 0 && len(e.writers) == 0 {
 				ix.release(a, e)
 			}
 		}
+	}
+	if t.Sigs != nil {
+		t.Sigs.Reset()
+		ix.sigPool.Put(t.Sigs)
+		t.Sigs = nil
 	}
 }
 
@@ -201,16 +299,13 @@ func removeTask(ts []*task.Task, t *task.Task) []*task.Task {
 // wrote, every uncommitted later-order reader or writer of that address
 // (data-dependent tasks, Sec. II-B: "on an abort, Swarm aborts only
 // descendants and data-dependent tasks"). The seed itself is included.
-// The returned slice and the set queried by InLastAbortSet are reused
-// scratch, valid only until the next AbortSet call on this Index.
+// Membership is an epoch stamp on the task (queried by InLastAbortSet); the
+// returned slice is reused scratch, valid only until the next AbortSet call
+// on this Index.
 func (ix *Index) AbortSet(seed *task.Task) []*task.Task {
-	if ix.setScratch == nil {
-		ix.setScratch = make(map[*task.Task]bool)
-	} else {
-		clear(ix.setScratch)
-	}
-	inSet := ix.setScratch
-	inSet[seed] = true
+	ix.abortEpoch++
+	ep := ix.abortEpoch
+	seed.AbortStamp = ep
 	work := append(ix.workScratch[:0], seed)
 	out := ix.outScratch[:0]
 	for len(work) > 0 {
@@ -218,17 +313,18 @@ func (ix *Index) AbortSet(seed *task.Task) []*task.Task {
 		work = work[:len(work)-1]
 		out = append(out, t)
 		for _, c := range t.Children {
-			if !inSet[c] && c.State != task.Committed && c.State != task.Squashed {
-				inSet[c] = true
+			if c.AbortStamp != ep && c.State != task.Committed && c.State != task.Squashed {
+				c.AbortStamp = ep
 				work = append(work, c)
 			}
 		}
 		// Only tasks that actually executed have speculative writes.
 		if t.State == task.Running || t.State == task.Finished {
 			for _, a := range t.Writes {
-				for _, u := range ix.LaterAccessors(a, t.Ord(), t, t.Tile) {
-					if !inSet[u] {
-						inSet[u] = true
+				ix.absScratch = ix.laterAccessorsInto(ix.absScratch[:0], a, t.Ord(), t, t.Tile)
+				for _, u := range ix.absScratch {
+					if u.AbortStamp != ep {
+						u.AbortStamp = ep
 						work = append(work, u)
 					}
 				}
@@ -244,5 +340,5 @@ func (ix *Index) AbortSet(seed *task.Task) []*task.Task {
 // descendants (parent also aborting) from data-dependent retries without
 // rebuilding its own membership map.
 func (ix *Index) InLastAbortSet(t *task.Task) bool {
-	return ix.setScratch[t]
+	return ix.abortEpoch != 0 && t.AbortStamp == ix.abortEpoch
 }

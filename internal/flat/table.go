@@ -1,0 +1,167 @@
+// Package flat provides the open-addressing hash table the simulator's
+// hottest per-access structures are built on: the conflict-detection accessor
+// index and the cache coherence directory both map dense 64-bit addresses to
+// pooled entry pointers, and both pay a runtime-map lookup on every simulated
+// access when backed by a Go map. Table replaces that with a linear-probe,
+// power-of-two-sized open table whose lookups are one multiply-shift hash and
+// a short probe over two parallel slices — no hash-map header, no bucket
+// indirection, no per-operation allocation.
+package flat
+
+import "swarmhints/internal/hashutil"
+
+// Table maps uint64 keys to non-nil *V values. The zero value is an empty
+// table ready for use. It is not safe for concurrent use: each simulated
+// engine owns its tables, which keeps parallel sweep runs free of shared
+// state.
+//
+// Deletion uses backward-shift compaction instead of tombstones, so probe
+// sequences never accumulate dead slots and the load factor bound holds over
+// any insert/delete churn — the common lifecycle of conflict-index entries,
+// whose addresses heat up and go quiet continuously.
+type Table[V any] struct {
+	keys []uint64
+	vals []*V // vals[i] == nil marks an empty slot
+	mask uint64
+	n    int
+}
+
+const minSize = 16
+
+// Len returns the number of stored entries.
+func (t *Table[V]) Len() int { return t.n }
+
+// Reserve pre-sizes an empty table to hold at least n entries without
+// growing, so long-lived tables skip the doubling ladder. No-op once the
+// table is at least that large or holds entries.
+func (t *Table[V]) Reserve(n int) {
+	if t.n > 0 {
+		return
+	}
+	want := minSize
+	for uint64(n) > uint64(want)/4*3 {
+		want *= 2
+	}
+	if want <= len(t.vals) {
+		return
+	}
+	t.keys = make([]uint64, want)
+	t.vals = make([]*V, want)
+	t.mask = uint64(want - 1)
+}
+
+// Get returns the value stored under key, or nil.
+func (t *Table[V]) Get(key uint64) *V {
+	if t.n == 0 {
+		return nil
+	}
+	i := hashutil.SplitMix64(key) & t.mask
+	for {
+		v := t.vals[i]
+		if v == nil {
+			return nil
+		}
+		if t.keys[i] == key {
+			return v
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Put stores v under key, replacing any existing value. v must be non-nil
+// (nil marks empty slots).
+func (t *Table[V]) Put(key uint64, v *V) {
+	if v == nil {
+		panic("flat: Put with nil value")
+	}
+	// Grow at 3/4 load so probe chains stay short.
+	if c := len(t.vals); c == 0 || uint64(t.n+1) > uint64(c)/4*3 {
+		t.grow()
+	}
+	i := hashutil.SplitMix64(key) & t.mask
+	for {
+		if t.vals[i] == nil {
+			t.keys[i], t.vals[i] = key, v
+			t.n++
+			return
+		}
+		if t.keys[i] == key {
+			t.vals[i] = v
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Delete removes key, returning the value it held (nil if absent). The freed
+// slot is closed by backward-shifting the tail of the probe chain, so the
+// table never holds tombstones.
+func (t *Table[V]) Delete(key uint64) *V {
+	if t.n == 0 {
+		return nil
+	}
+	mask := t.mask
+	i := hashutil.SplitMix64(key) & mask
+	for {
+		if t.vals[i] == nil {
+			return nil
+		}
+		if t.keys[i] == key {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	old := t.vals[i]
+	// Backward-shift deletion (Knuth 6.4 Algorithm R): walk the chain after
+	// the hole; any entry whose home slot lies cyclically outside (i, j]
+	// would become unreachable, so move it into the hole and continue from
+	// its slot.
+	j := i
+	for {
+		j = (j + 1) & mask
+		if t.vals[j] == nil {
+			break
+		}
+		home := hashutil.SplitMix64(t.keys[j]) & mask
+		if (j-home)&mask >= (j-i)&mask {
+			t.keys[i], t.vals[i] = t.keys[j], t.vals[j]
+			i = j
+		}
+	}
+	t.keys[i], t.vals[i] = 0, nil
+	t.n--
+	return old
+}
+
+// Range calls fn for every entry until it returns false. Iteration order is
+// the table's physical slot order: deterministic for a given operation
+// history, but unspecified — callers needing a canonical order must sort.
+func (t *Table[V]) Range(fn func(key uint64, v *V) bool) {
+	for i, v := range t.vals {
+		if v != nil && !fn(t.keys[i], v) {
+			return
+		}
+	}
+}
+
+func (t *Table[V]) grow() {
+	newCap := minSize
+	if len(t.vals) > 0 {
+		newCap = len(t.vals) * 2
+	}
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]uint64, newCap)
+	t.vals = make([]*V, newCap)
+	t.mask = uint64(newCap - 1)
+	for i, v := range oldVals {
+		if v == nil {
+			continue
+		}
+		k := oldKeys[i]
+		j := hashutil.SplitMix64(k) & t.mask
+		for t.vals[j] != nil {
+			j = (j + 1) & t.mask
+		}
+		t.keys[j], t.vals[j] = k, v
+	}
+}

@@ -1,0 +1,201 @@
+package flat
+
+import (
+	"math/rand"
+	"testing"
+
+	"swarmhints/internal/hashutil"
+)
+
+// checkAgainst verifies the table holds exactly the entries of ref.
+func checkAgainst(t *testing.T, tab *Table[int], ref map[uint64]*int) {
+	t.Helper()
+	if tab.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if got := tab.Get(k); got != v {
+			t.Fatalf("Get(%#x) = %p, want %p", k, got, v)
+		}
+	}
+	seen := 0
+	tab.Range(func(k uint64, v *int) bool {
+		if ref[k] != v {
+			t.Fatalf("Range yielded (%#x, %p), ref has %p", k, v, ref[k])
+		}
+		seen++
+		return true
+	})
+	if seen != len(ref) {
+		t.Fatalf("Range visited %d entries, want %d", seen, len(ref))
+	}
+}
+
+// TestTableVsMapChurn drives random insert/replace/delete/get sequences and
+// keeps the table bit-for-bit consistent with a plain map reference model.
+// Keys are drawn from a small pool so slots churn through occupied → deleted
+// → reoccupied constantly, exercising backward-shift compaction under load.
+func TestTableVsMapChurn(t *testing.T) {
+	for _, poolSize := range []int{4, 23, 300} {
+		rng := rand.New(rand.NewSource(int64(poolSize)))
+		keys := make([]uint64, poolSize)
+		for i := range keys {
+			keys[i] = rng.Uint64()
+		}
+		var tab Table[int]
+		ref := map[uint64]*int{}
+		for step := 0; step < 30_000; step++ {
+			k := keys[rng.Intn(len(keys))]
+			switch rng.Intn(4) {
+			case 0, 1: // insert or replace
+				v := new(int)
+				*v = step
+				tab.Put(k, v)
+				ref[k] = v
+			case 2: // delete
+				got := tab.Delete(k)
+				if got != ref[k] {
+					t.Fatalf("step %d: Delete(%#x) = %p, want %p", step, k, got, ref[k])
+				}
+				delete(ref, k)
+			case 3: // lookup
+				if got := tab.Get(k); got != ref[k] {
+					t.Fatalf("step %d: Get(%#x) = %p, want %p", step, k, got, ref[k])
+				}
+			}
+		}
+		checkAgainst(t, &tab, ref)
+	}
+}
+
+// TestTableCollisionHeavy pins pathological probing: many keys that all hash
+// into one small window of slots, deleted in an order chosen to force
+// backward shifts across long chains and across the table's wrap point.
+func TestTableCollisionHeavy(t *testing.T) {
+	// Find keys whose home slot (at the table size reached below) lands in
+	// the last few slots, so probe chains wrap around index 0.
+	const size = minSize
+	mask := uint64(size - 1)
+	var clustered []uint64
+	for k := uint64(0); len(clustered) < 10; k++ {
+		if h := hashutil.SplitMix64(k) & mask; h >= size-3 {
+			clustered = append(clustered, k)
+		}
+	}
+	var tab Table[int]
+	ref := map[uint64]*int{}
+	for _, k := range clustered {
+		v := new(int)
+		tab.Put(k, v)
+		ref[k] = v
+	}
+	checkAgainst(t, &tab, ref)
+	// Delete front-to-back, middle-out, then the rest: every deletion must
+	// keep the still-present cluster reachable through the shifted chain.
+	order := []int{0, 5, 2, 8, 1, 9, 3, 7, 4, 6}
+	for _, oi := range order {
+		k := clustered[oi]
+		if got := tab.Delete(k); got != ref[k] {
+			t.Fatalf("Delete(%#x) = %p, want %p", k, got, ref[k])
+		}
+		delete(ref, k)
+		checkAgainst(t, &tab, ref)
+	}
+}
+
+func TestTableZeroKeyAndValueIdentity(t *testing.T) {
+	var tab Table[int]
+	v0, v1 := new(int), new(int)
+	tab.Put(0, v0)
+	if tab.Get(0) != v0 {
+		t.Fatal("key 0 not stored")
+	}
+	tab.Put(0, v1)
+	if tab.Get(0) != v1 || tab.Len() != 1 {
+		t.Fatal("replace of key 0 failed")
+	}
+	if tab.Delete(0) != v1 || tab.Len() != 0 || tab.Get(0) != nil {
+		t.Fatal("delete of key 0 failed")
+	}
+	if tab.Delete(0) != nil {
+		t.Fatal("double delete returned a value")
+	}
+}
+
+func TestTableGrowthPreservesEntries(t *testing.T) {
+	var tab Table[int]
+	ref := map[uint64]*int{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10_000; i++ {
+		k := rng.Uint64()
+		v := new(int)
+		tab.Put(k, v)
+		ref[k] = v
+	}
+	checkAgainst(t, &tab, ref)
+}
+
+// FuzzTableOps interprets the fuzz input as an op/key stream against the map
+// reference model, letting the fuzzer search for probe-chain corner cases the
+// random churn test misses.
+func FuzzTableOps(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 1, 2, 1, 0, 2, 2, 2})
+	f.Add([]byte{0, 0, 0, 0, 2, 0, 0, 0, 1, 0, 2, 0})
+	f.Add([]byte{0, 7, 0, 15, 0, 23, 2, 7, 1, 15, 2, 23, 2, 15})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tab Table[int]
+		ref := map[uint64]*int{}
+		for i := 0; i+1 < len(data); i += 2 {
+			op, kb := data[i]%3, data[i+1]
+			// Fold the key byte through SplitMix so adjacent byte values
+			// spread over the table, but keep the key space small (256)
+			// so collisions and reuse stay frequent.
+			k := hashutil.SplitMix64(uint64(kb))
+			switch op {
+			case 0:
+				v := new(int)
+				tab.Put(k, v)
+				ref[k] = v
+			case 1:
+				if tab.Get(k) != ref[k] {
+					t.Fatalf("Get(%#x) diverged from reference", k)
+				}
+			case 2:
+				if tab.Delete(k) != ref[k] {
+					t.Fatalf("Delete(%#x) diverged from reference", k)
+				}
+				delete(ref, k)
+			}
+		}
+		if tab.Len() != len(ref) {
+			t.Fatalf("Len = %d, want %d", tab.Len(), len(ref))
+		}
+		for k, v := range ref {
+			if tab.Get(k) != v {
+				t.Fatalf("final Get(%#x) diverged", k)
+			}
+		}
+	})
+}
+
+func TestTableReserve(t *testing.T) {
+	var tab Table[int]
+	tab.Reserve(1000)
+	got := len(tab.vals)
+	ref := map[uint64]*int{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		k := rng.Uint64()
+		v := new(int)
+		tab.Put(k, v)
+		ref[k] = v
+	}
+	if len(tab.vals) != got {
+		t.Fatalf("reserved table grew: %d -> %d slots", got, len(tab.vals))
+	}
+	checkAgainst(t, &tab, ref)
+	tab.Reserve(1 << 20) // no-op on a populated table
+	if len(tab.vals) != got {
+		t.Fatal("Reserve resized a populated table")
+	}
+}

@@ -117,3 +117,21 @@ func TestH3BankRange(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestH3ByteSlicedMatchesReference pins the byte-sliced table evaluation to
+// the bit-by-bit H3 definition: identical values mean every Bloom signature
+// bit position is unchanged by the optimization.
+func TestH3ByteSlicedMatchesReference(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		h := NewH3(0xb100 + seed)
+		f := func(x uint64) bool { return h.Hash(x) == h.hashRef(x) }
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, x := range []uint64{0, 1, ^uint64(0), 1 << 63, 0xff, 0x8000000000000001} {
+			if h.Hash(x) != h.hashRef(x) {
+				t.Fatalf("seed %d: Hash(%#x) = %#x, ref %#x", seed, x, h.Hash(x), h.hashRef(x))
+			}
+		}
+	}
+}

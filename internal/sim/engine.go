@@ -144,7 +144,29 @@ type Engine struct {
 	runScratch  []runHint       // pickCandidate's running-task snapshot
 	logScratch  []*mem.UndoLog  // abort's undo-log collection
 	undoScratch []mem.UndoEntry // abort's merged-rollback buffer
+
+	// pickCandidate memo. The candidate walk is a function of the tile's
+	// idle heap and running set only, and under hint serialization it can
+	// visit every idle task just to conclude "stall"; each tile caches its
+	// last result, invalidated by a version counter that every mutation of
+	// those inputs bumps. A hit replaces the walk with two loads — the
+	// dominant case in contended phases, where dispatch re-attempts every
+	// event while the queue state barely changes.
+	pickMemo []pickMemo
 }
+
+// pickMemo is one tile's dispatch-candidate cache: the tile's current input
+// version and the result computed at memoVer (valid while they match).
+type pickMemo struct {
+	ver     uint64
+	memoVer uint64
+	pick    *task.Task
+	ok      bool
+}
+
+// bumpPick invalidates a tile's cached dispatch candidate; call after any
+// change to the tile's idle tasks or running set.
+func (e *Engine) bumpPick(tile int) { e.pickMemo[tile].ver++ }
 
 // runHint is pickCandidate's snapshot of one running hinted task.
 type runHint struct {
@@ -189,6 +211,7 @@ func newEngine(p *Program, cfg Config) *Engine {
 	e.ctxs = make([]Ctx, len(e.cores))
 	e.gvtMins = make([]task.Order, tiles)
 	e.gvtRunning = make([][]*task.Task, tiles)
+	e.pickMemo = make([]pickMemo, tiles)
 	if cfg.Profile {
 		e.prof = newProfiler()
 	}
@@ -308,6 +331,7 @@ func (e *Engine) handle(ev event) {
 		c.idleSince = e.now
 		e.queues[t.Tile].Finish(t)
 		e.finished[t.Tile] = append(e.finished[t.Tile], t)
+		e.bumpPick(t.Tile) // running set changed
 	case evGVT:
 		e.gvtRound()
 		e.schedule(evGVT, e.arb.NextDue(), 0, 0)
@@ -431,6 +455,7 @@ func (e *Engine) enqueue(parent *task.Task, fromTile int, fn task.FnID, ts uint6
 		e.mesh.Send(noc.MsgTask, fromTile, dest, task.DescriptorBytes(t))
 	}
 	q := e.queues[dest]
+	e.bumpPick(dest)
 	if q.NearlyFull(e.cfg.SpillThresholdPct) {
 		e.spill(dest)
 	}
@@ -451,6 +476,7 @@ func (e *Engine) enqueue(parent *task.Task, fromTile int, fn task.FnID, ts uint6
 
 // spill fires the tile's coalescer (Sec. II-B / Table II).
 func (e *Engine) spill(tile int) {
+	e.bumpPick(tile)
 	sp := e.queues[tile].Spill(e.cfg.SpillBatch)
 	tc := e.rec.Tile(tile)
 	for _, t := range sp {
@@ -461,6 +487,7 @@ func (e *Engine) spill(tile int) {
 }
 
 func (e *Engine) refill(tile int) {
+	e.bumpPick(tile)
 	back := e.queues[tile].Refill(e.cfg.SpillBatch)
 	tc := e.rec.Tile(tile)
 	for _, t := range back {
@@ -546,6 +573,9 @@ func (e *Engine) pickCandidate(tile int) *task.Task {
 	if !e.schd.SerializeSameHint() || e.cfg.DisableSerialization {
 		return q.PeekEarliest()
 	}
+	if m := &e.pickMemo[tile]; m.ok && m.ver == m.memoVer {
+		return m.pick
+	}
 	running := e.runScratch[:0]
 	base := tile * e.cfg.CoresPerTile
 	for c := 0; c < e.cfg.CoresPerTile; c++ {
@@ -566,6 +596,8 @@ func (e *Engine) pickCandidate(tile int) *task.Task {
 		pick = t
 		return false
 	})
+	m := &e.pickMemo[tile]
+	m.memoVer, m.pick, m.ok = m.ver, pick, true
 	return pick
 }
 
@@ -604,6 +636,8 @@ func (e *Engine) steal(tile int) {
 	}
 	t := e.queues[victim].PeekEarliest()
 	e.queues[victim].RemoveIdle(t)
+	e.bumpPick(victim)
+	e.bumpPick(tile)
 	if !e.queues[tile].Enqueue(t) {
 		e.queues[victim].Enqueue(t) // put it back; should not happen
 		return
@@ -613,6 +647,7 @@ func (e *Engine) steal(tile int) {
 
 func (e *Engine) execute(t *task.Task, coreID int) {
 	cs := &e.cores[coreID]
+	e.bumpPick(cs.tile) // idle heap shrank, running set grows
 	t.ResetAttempt()
 	t.DispatchCycle = e.now
 	cs.running = t
@@ -644,6 +679,7 @@ func (e *Engine) abort(seed *task.Task) {
 	for _, t := range set {
 		squash := t.Parent != nil && e.index.InLastAbortSet(t.Parent)
 		q := e.queues[t.Tile]
+		e.bumpPick(t.Tile) // every outcome below touches idle or running state
 		if t != seed && t.Tile != seedTile {
 			e.mesh.Send(noc.MsgAbort, seedTile, t.Tile, 16)
 		}
@@ -664,7 +700,9 @@ func (e *Engine) abort(seed *task.Task) {
 			cs.idleSince = e.now + rb
 			e.schedule(evWake, e.now+rb, t.Core, 0)
 			e.rollbackTraffic(t)
-			logs = append(logs, &t.Undo)
+			if t.Undo.Len() > 0 { // read-only attempts add nothing to the merge
+				logs = append(logs, &t.Undo)
+			}
 			e.index.Remove(t)
 			if squash {
 				q.SquashRunning(t)
@@ -679,7 +717,9 @@ func (e *Engine) abort(seed *task.Task) {
 			tc.AbortedAttempts++
 			e.removeFinished(t)
 			e.rollbackTraffic(t)
-			logs = append(logs, &t.Undo)
+			if t.Undo.Len() > 0 {
+				logs = append(logs, &t.Undo)
+			}
 			e.index.Remove(t)
 			if squash {
 				q.SquashFinished(t)

@@ -7,6 +7,7 @@ package task
 import (
 	"swarmhints/internal/hashutil"
 	"swarmhints/internal/mem"
+	"swarmhints/internal/sig"
 )
 
 // FnID identifies a registered task function.
@@ -88,6 +89,22 @@ type Task struct {
 	RunCycles uint64 // cycles of the current attempt
 	Aborts    int    // times this task has been aborted and retried
 
+	// Sigs holds the per-attempt Bloom read/write conflict signatures a
+	// Swarm tile keeps for the task (Table II: 2 Kbit, 8-way). The conflict
+	// index attaches a pooled block on the first registered access of an
+	// attempt, populates it on every access, maintains the counting union
+	// of all live signatures as its address pre-filter, and reclaims the
+	// block when the task is removed from the index; nil means the attempt
+	// has not accessed memory.
+	Sigs *sig.Attempt
+
+	// SeenStamp and AbortStamp are conflict-index query epochs (see
+	// internal/conflict): a task is in the current accessor-dedup or
+	// abort-closure set iff its stamp equals the index's current epoch.
+	// Scratch state, meaningful only to the index that stamped it.
+	SeenStamp  uint64
+	AbortStamp uint64
+
 	// DispatchCycle is when the current attempt started.
 	DispatchCycle uint64
 	// heap bookkeeping
@@ -105,6 +122,9 @@ func (t *Task) ResetAttempt() {
 	t.Undo.Reset()
 	t.Reads = t.Reads[:0]
 	t.Writes = t.Writes[:0]
+	if t.Sigs != nil { // usually already reclaimed by conflict.Index.Remove
+		t.Sigs.Reset()
+	}
 	t.RunCycles = 0
 	t.Children = t.Children[:0]
 }
@@ -122,6 +142,10 @@ func (t *Task) init(id uint64, fn FnID, ts uint64, kind HintKind, hint uint64, p
 	t.Children = t.Children[:0]
 	t.Undo.Reset()
 	t.Reads, t.Writes = t.Reads[:0], t.Writes[:0]
+	if t.Sigs != nil {
+		t.Sigs.Reset()
+	}
+	t.SeenStamp, t.AbortStamp = 0, 0
 	t.RunCycles, t.Aborts = 0, 0
 	t.DispatchCycle = 0
 	t.heapIdx = -1
@@ -284,7 +308,7 @@ type Queue struct {
 	resident    int // idle + running + finished tasks on this tile
 	commitUsed  int
 	spillBuffer []*Task // tasks spilled to memory, kept in order
-	walkScratch []*Task // reused by IdleInOrder's pop-and-restore walk
+	walkScratch []int32 // reused by IdleInOrder's frontier walk
 	listScratch []*Task // reused for Spill/Refill result lists
 }
 
@@ -345,25 +369,74 @@ func (q *Queue) PeekEarliest() *Task {
 
 // IdleInOrder iterates idle tasks in speculative order, calling fn until it
 // returns false. Used by dispatch to skip hint-serialized candidates
-// (Sec. III-B). The walk is O(k log k) only for the tasks visited.
+// (Sec. III-B). The walk is O(k log k) for the k tasks visited and does not
+// mutate the heap: a frontier min-heap of heap positions starts at the root,
+// and visiting a position adds its children — the heap property guarantees
+// the frontier always contains the earliest unvisited task. Under heavy
+// serialization (every idle task skipped, the contended worst case) this
+// replaces a full pop-and-push-back rebuild per dispatch attempt with a
+// read-only scan over small integers.
 func (q *Queue) IdleInOrder(fn func(*Task) bool) {
-	// Small tiles have few idle tasks; copy+sort the heap view lazily by
-	// repeatedly scanning for successive minima among unvisited entries.
-	// For efficiency we pop into a reused scratch slice and push back.
-	scratch := q.walkScratch[:0]
-	defer func() {
-		for _, t := range scratch {
-			q.idle.push(t)
+	h := q.idle
+	if len(h) == 0 {
+		return
+	}
+	fr := q.walkScratch[:0]
+	fr = append(fr, 0)
+	for len(fr) > 0 {
+		// Pop the frontier position holding the earliest task.
+		pos := fr[0]
+		last := len(fr) - 1
+		moved := fr[last]
+		fr = fr[:last]
+		if last > 0 {
+			i := 0
+			for {
+				l, r := 2*i+1, 2*i+2
+				s := i
+				top := moved
+				if l < last && h[fr[l]].ordBefore(h[top]) {
+					s, top = l, fr[l]
+				}
+				if r < last && h[fr[r]].ordBefore(h[top]) {
+					s = r
+				}
+				if s == i {
+					break
+				}
+				fr[i] = fr[s]
+				i = s
+			}
+			fr[i] = moved
 		}
-		q.walkScratch = scratch
-	}()
-	for len(q.idle) > 0 {
-		t := q.idle.pop()
-		scratch = append(scratch, t)
-		if !fn(t) {
+		if !fn(h[pos]) {
+			q.walkScratch = fr[:0]
 			return
 		}
+		// Visit order is the heap's sorted order, so the children of pos
+		// join the frontier only now.
+		if c := 2*pos + 1; int(c) < len(h) {
+			fr = frontierPush(fr, c, h)
+		}
+		if c := 2*pos + 2; int(c) < len(h) {
+			fr = frontierPush(fr, c, h)
+		}
 	}
+	q.walkScratch = fr[:0]
+}
+
+func frontierPush(fr []int32, c int32, h orderHeap) []int32 {
+	fr = append(fr, c)
+	i := len(fr) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h[fr[i]].ordBefore(h[fr[p]]) {
+			break
+		}
+		fr[i], fr[p] = fr[p], fr[i]
+		i = p
+	}
+	return fr
 }
 
 // Dispatch removes an idle task for execution on a core, reserving its
@@ -538,14 +611,70 @@ func (q *Queue) EarliestUncommitted(running []*Task, finished []*Task) Order {
 	return best
 }
 
+// sortTasksByOrderDesc sorts descending by speculative order. Order keys are
+// unique (TS, ID), so every correct sort yields the same permutation and the
+// algorithm choice cannot perturb engine determinism. Insertion sort handles
+// small and already-sorted inputs (the spill buffer between appends) in
+// linear-ish time; larger unsorted inputs — Spill's candidate scans and the
+// buffer after heavy spill churn, where an O(n²) pass was the engine's top
+// hot spot — take the quicksort path.
 func sortTasksByOrderDesc(ts []*Task) {
+	if len(ts) > 32 {
+		quickSortTasksDesc(ts, 0, len(ts)-1)
+		return
+	}
+	insertionSortTasksDesc(ts)
+}
+
+func insertionSortTasksDesc(ts []*Task) {
 	for i := 1; i < len(ts); i++ {
 		t := ts[i]
 		j := i - 1
-		for j >= 0 && ts[j].Ord().Before(t.Ord()) {
+		for j >= 0 && ts[j].ordBefore(t) {
 			ts[j+1] = ts[j]
 			j--
 		}
 		ts[j+1] = t
 	}
+}
+
+func quickSortTasksDesc(ts []*Task, lo, hi int) {
+	for hi-lo > 32 {
+		// Median-of-three pivot: defeats the sorted and reverse-sorted
+		// patterns the spill buffer produces.
+		mid := int(uint(lo+hi) >> 1)
+		if ts[mid].ordBefore(ts[lo]) {
+			ts[mid], ts[lo] = ts[lo], ts[mid]
+		}
+		if ts[hi].ordBefore(ts[lo]) {
+			ts[hi], ts[lo] = ts[lo], ts[hi]
+		}
+		if ts[hi].ordBefore(ts[mid]) {
+			ts[hi], ts[mid] = ts[mid], ts[hi]
+		}
+		p := ts[mid]
+		i, j := lo, hi
+		for i <= j {
+			for p.ordBefore(ts[i]) {
+				i++
+			}
+			for ts[j].ordBefore(p) {
+				j--
+			}
+			if i <= j {
+				ts[i], ts[j] = ts[j], ts[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller half, loop on the larger.
+		if j-lo < hi-i {
+			quickSortTasksDesc(ts, lo, j)
+			lo = i
+		} else {
+			quickSortTasksDesc(ts, i, hi)
+			hi = j
+		}
+	}
+	insertionSortTasksDesc(ts[lo : hi+1])
 }
