@@ -21,7 +21,15 @@
 //	experiments -exp all -parallel 8          # bound the worker pool
 //	experiments -exp fig4 -format json        # machine-readable export
 //	experiments -exp fig5 -format csv -out fig5.csv
+//	experiments -exp all -store results.store # persist runs; later invocations reuse them
 //	experiments -list
+//
+// -store DIR adds the persistent result store (internal/store) under the
+// in-memory cache: every simulation point is written through on first
+// computation and served from disk on any later invocation — including by
+// cmd/swarmsim and swarmd pointed at the same directory, which share the
+// same canonical configuration keys. Exports stay byte-identical whether a
+// point was computed or store-served.
 package main
 
 import (
@@ -48,6 +56,8 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "simulation runs in flight at once (0 = GOMAXPROCS)")
 		format    = flag.String("format", "", "machine-readable output: json|csv (default: human tables)")
 		outFile   = flag.String("out", "", "write structured results to FILE (keeps human tables on stdout)")
+		storeDir  = flag.String("store", "", "persistent result-store directory shared with swarmd/swarmsim (empty = no store)")
+		storeMax  = flag.String("store-max-bytes", "", "result-store size cap, e.g. 512m or 2g (empty/0 = unbounded)")
 		list      = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -70,6 +80,15 @@ func main() {
 	opt := exp.DefaultOptions(scale)
 	opt.Seed = *seed
 	opt.Parallel = *parallel
+	opt.Store, err = cliutil.OpenStore(*storeDir, *storeMax)
+	if err != nil {
+		fatal(err)
+	}
+	if opt.Store != nil {
+		c := opt.Store.Counters()
+		fmt.Fprintf(os.Stderr, "experiments: result store %s (%d records, %d bytes)\n",
+			opt.Store.Dir(), c.Records, c.Bytes)
+	}
 	if *cores != "" {
 		opt.Cores, err = cliutil.ParseInts(*cores, "-cores")
 		if err != nil {

@@ -18,6 +18,12 @@
 //
 //	swarmd -addr :8080 -workers 8 -cache 4096
 //	swarmd -addr 127.0.0.1:0        # ephemeral port, printed on startup
+//	swarmd -store /var/lib/swarmd -store-max-bytes 2g   # persistent result store
+//
+// With -store, lookups go memory-LRU → disk store → coalesced compute with
+// write-through on fill, so a restarted swarmd — or a fleet of replicas
+// sharing the directory — answers previously computed sweeps with zero
+// engine runs (see swarmd_store_* in /metrics).
 //
 // SIGINT/SIGTERM starts a graceful shutdown: the listener closes, in-flight
 // requests drain for -drain, then remaining work is canceled.
@@ -36,20 +42,33 @@ import (
 	"syscall"
 	"time"
 
+	"swarmhints/internal/cliutil"
 	"swarmhints/internal/service"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 = ephemeral)")
-		workers  = flag.Int("workers", 0, "max simulations in flight across all requests (0 = GOMAXPROCS)")
-		cache    = flag.Int("cache", 4096, "LRU result-cache entries")
-		validate = flag.Bool("validate", true, "check each executed run against the serial reference")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		addr          = flag.String("addr", ":8080", "listen address (host:port; port 0 = ephemeral)")
+		workers       = flag.Int("workers", 0, "max simulations in flight across all requests (0 = GOMAXPROCS)")
+		cache         = flag.Int("cache", 4096, "LRU result-cache entries")
+		validate      = flag.Bool("validate", true, "check each executed run against the serial reference")
+		drain         = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		storeDir      = flag.String("store", "", "persistent result-store directory, shareable between replicas (empty = memory-only)")
+		storeMaxBytes = flag.String("store-max-bytes", "", "result-store size cap, e.g. 512m or 2g (empty/0 = unbounded); oldest-read records are evicted")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Options{Workers: *workers, CacheEntries: *cache, Validate: *validate})
+	st, err := cliutil.OpenStore(*storeDir, *storeMaxBytes)
+	if err != nil {
+		log.Fatalf("swarmd: %v", err)
+	}
+	if st != nil {
+		c := st.Counters()
+		log.Printf("swarmd: result store %s (%d records, %d bytes, cap %d)",
+			st.Dir(), c.Records, c.Bytes, st.MaxBytes())
+	}
+
+	svc := service.New(service.Options{Workers: *workers, CacheEntries: *cache, Validate: *validate, Store: st})
 	srv := &http.Server{
 		Handler: svc.Handler(),
 		// Requests inherit the service lifetime: Close cancels them all.

@@ -23,7 +23,14 @@
 //	swarmsim -bench des -cores 64 -seeds 5       # 5 derived-seed replicas
 //	swarmsim -bench mis -cores 64 -format json   # machine-readable results
 //	swarmsim -bench bfs -cores 1,16 -format csv -out sweep.csv
+//	swarmsim -bench des -cores 64 -store results.store  # reuse results across invocations
 //	swarmsim -list
+//
+// -store DIR adds the persistent result store (internal/store): sweep
+// points at the default queue sizes are the same canonical configurations
+// cmd/experiments and swarmd run, so they are served from the shared
+// directory when warm and written through when computed. Custom -taskq or
+// -commitq values change the simulated machine and always execute.
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 
 	"swarmhints/internal/bench"
 	"swarmhints/internal/cliutil"
+	"swarmhints/internal/exp"
 	"swarmhints/internal/runner"
 	"swarmhints/swarm"
 )
@@ -60,6 +68,8 @@ func main() {
 		validate   = flag.Bool("validate", true, "check results against the serial reference")
 		format     = flag.String("format", "", "machine-readable output: json|csv (default: human report)")
 		outFile    = flag.String("out", "", "write structured results to FILE (keeps human report on stdout)")
+		storeDir   = flag.String("store", "", "persistent result-store directory shared with swarmd/experiments (empty = no store)")
+		storeMax   = flag.String("store-max-bytes", "", "result-store size cap, e.g. 512m or 2g (empty/0 = unbounded)")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
@@ -76,6 +86,15 @@ func main() {
 	scale, err := cliutil.ParseScale(*scaleName)
 	if err != nil {
 		fatal(err)
+	}
+	resultStore, err := cliutil.OpenStore(*storeDir, *storeMax)
+	if err != nil {
+		fatal(err)
+	}
+	if resultStore != nil {
+		c := resultStore.Counters()
+		fmt.Fprintf(os.Stderr, "swarmsim: result store %s (%d records, %d bytes)\n",
+			resultStore.Dir(), c.Records, c.Bytes)
 	}
 	benches := cliutil.SplitList(*benchList)
 	kinds, err := cliutil.ParseScheds(*schedList)
@@ -159,6 +178,17 @@ func main() {
 
 	var hintPattern string // recorded for the single-run report
 	makeJob := func(p point) runner.Job {
+		// A sweep point at the default queue sizes is exactly an experiment-
+		// harness configuration (exp.RunPoint), so it shares the persistent
+		// store under the same canonical key as cmd/experiments and swarmd.
+		// Custom -taskq/-commitq runs change the machine, not just the
+		// point, and always execute.
+		runProfile := *profile && len(points) == 1
+		expPoint := exp.Point{Name: p.bench, Kind: p.kind, Cores: p.cores, Profile: runProfile}
+		storeKey := ""
+		if resultStore != nil && p.taskq == 0 && p.commitq == 0 {
+			storeKey = exp.ConfigKey(scale, workloadSeed(p.replica), expPoint)
+		}
 		return runner.Job{
 			Name: fmt.Sprintf("%s/%v/%dc", p.bench, p.kind, p.cores),
 			Labels: map[string]string{
@@ -172,6 +202,16 @@ func main() {
 				"scale":   scale.String(),
 			},
 			Run: func(int64) (*swarm.Stats, error) {
+				if storeKey != "" {
+					if st, ok := resultStore.GetStats(storeKey); ok {
+						return st, nil
+					}
+					st, err := exp.RunPoint(expPoint, scale, workloadSeed(p.replica), *validate)
+					if err == nil {
+						_ = resultStore.PutStats(storeKey, st) // best effort
+					}
+					return st, err
+				}
 				inst, err := bench.Build(p.bench, scale, workloadSeed(p.replica))
 				if err != nil {
 					return nil, err
@@ -181,7 +221,13 @@ func main() {
 				}
 				cfg := swarm.ScaledConfig().WithCores(p.cores)
 				cfg.Scheduler = p.kind
-				cfg.Profile = *profile && len(points) == 1
+				cfg.Profile = runProfile
+				if p.taskq == 0 && p.commitq == 0 {
+					// A default-queue run is a canonical configuration point;
+					// use the harness watchdog so its outcome cannot depend
+					// on whether it ran here or through exp.RunPoint (-store).
+					cfg.MaxCycles = exp.MaxPointCycles
+				}
 				if p.taskq > 0 {
 					cfg.TaskQPerCore = p.taskq
 				}
@@ -226,6 +272,13 @@ func main() {
 	if !output.ReplacesHuman() {
 		if len(points) == 1 {
 			p := points[0]
+			if hintPattern == "" {
+				// Store-served single runs skip the workload build; rebuild
+				// it (cheap next to a simulation) so the report is complete.
+				if inst, err := bench.Build(p.bench, scale, workloadSeed(p.replica)); err == nil {
+					hintPattern = inst.HintPattern
+				}
+			}
 			printDetailed(p.bench, *scaleName, hintPattern, p.cores, p.kind, *validate, results[0].Stats)
 		} else {
 			fmt.Printf("%-10s %-9s %6s %6s %7s %4s %14s %10s %8s %8s %12s\n",

@@ -15,6 +15,7 @@ import (
 
 	"swarmhints/internal/bench"
 	"swarmhints/internal/metrics"
+	"swarmhints/internal/store"
 	"swarmhints/swarm"
 )
 
@@ -71,6 +72,50 @@ func ParseScheds(s string) ([]swarm.SchedKind, error) {
 		out = append(out, k)
 	}
 	return out, nil
+}
+
+// ParseBytes parses a human-friendly byte size: a plain integer, optionally
+// with a k/m/g/t suffix (binary multiples, case-insensitive), e.g. "512m"
+// or "2g". Empty and "0" mean zero; flagName names the flag in errors.
+func ParseBytes(s, flagName string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch strings.ToLower(s[len(s)-1:]) {
+	case "k":
+		mult, s = 1<<10, s[:len(s)-1]
+	case "m":
+		mult, s = 1<<20, s[:len(s)-1]
+	case "g":
+		mult, s = 1<<30, s[:len(s)-1]
+	case "t":
+		mult, s = 1<<40, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad %s size %q (want e.g. 1048576, 512m, 2g)", flagName, s)
+	}
+	if v > (1<<62)/mult {
+		return 0, fmt.Errorf("bad %s size %q: overflows", flagName, s)
+	}
+	return v * mult, nil
+}
+
+// OpenStore resolves the shared -store/-store-max-bytes flag pair all three
+// commands expose: an empty dir disables the persistent result store (nil
+// Store), otherwise the directory is opened (created if needed) with the
+// parsed size cap.
+func OpenStore(dir, maxBytes string) (*store.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	limit, err := ParseBytes(maxBytes, "-store-max-bytes")
+	if err != nil {
+		return nil, err
+	}
+	return store.Open(dir, limit)
 }
 
 // ParseScale parses an input-scale name (case-insensitive).

@@ -106,3 +106,41 @@ func TestOutputWriteToFile(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestParseBytes(t *testing.T) {
+	good := map[string]int64{
+		"":     0,
+		"0":    0,
+		"1024": 1024,
+		"4k":   4 << 10,
+		"512M": 512 << 20,
+		"2g":   2 << 30,
+		"1T":   1 << 40,
+		" 8m ": 8 << 20,
+	}
+	for in, want := range good {
+		got, err := ParseBytes(in, "-store-max-bytes")
+		if err != nil || got != want {
+			t.Errorf("ParseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"x", "-1", "12q", "k", "9999999999999g"} {
+		if _, err := ParseBytes(in, "-store-max-bytes"); err == nil {
+			t.Errorf("ParseBytes(%q) accepted", in)
+		}
+	}
+}
+
+func TestOpenStoreDisabled(t *testing.T) {
+	s, err := OpenStore("", "1g")
+	if err != nil || s != nil {
+		t.Fatalf("empty dir should disable the store, got %v, %v", s, err)
+	}
+	if _, err := OpenStore(t.TempDir(), "bogus"); err == nil {
+		t.Fatal("bad size accepted")
+	}
+	s, err = OpenStore(t.TempDir(), "1m")
+	if err != nil || s == nil || s.MaxBytes() != 1<<20 {
+		t.Fatalf("OpenStore: %v, %v", s, err)
+	}
+}

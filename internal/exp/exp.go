@@ -17,6 +17,7 @@ import (
 	"swarmhints/internal/bench"
 	"swarmhints/internal/metrics"
 	"swarmhints/internal/runner"
+	"swarmhints/internal/store"
 	"swarmhints/swarm"
 )
 
@@ -45,6 +46,13 @@ type Options struct {
 	// layer passes its worker-fleet semaphore so even bespoke runs respect
 	// the global in-flight bound.
 	Gate func(ctx context.Context) (release func(), err error)
+	// Store, when non-nil, adds a persistent tier under the in-memory
+	// result cache: every cache miss consults the store (keyed by
+	// ConfigKey) before executing, and every executed result is written
+	// through, so repeated CLI invocations reuse each other's runs. Ignored
+	// when Exec is set — a pluggable executor (the swarmd service) owns its
+	// own caching tiers.
+	Store *store.Store
 }
 
 // gate acquires a bespoke-run slot when a Gate is configured.
@@ -109,6 +117,22 @@ func (p Point) Key() string {
 	return fmt.Sprintf("%s/%v/%d/%v", p.Name, p.Kind, p.Cores, p.Profile)
 }
 
+// ConfigKey is the canonical fully-qualified configuration key: the
+// (scale, seed) harness prefix followed by the point key. It is the one key
+// every result tier shares — the swarmd service's LRU (service.Config.Key)
+// and the persistent on-disk store (internal/store) both key on exactly
+// these bytes, which is what lets the CLIs, the experiment harness, and a
+// fleet of swarmd replicas reuse each other's results.
+func ConfigKey(scale bench.Scale, seed int64, p Point) string {
+	return fmt.Sprintf("%s/%d/%s", scale, seed, p.Key())
+}
+
+// MaxPointCycles is the watchdog bound every canonical configuration point
+// runs under. Exported so other executors of canonical points (swarmsim's
+// default-queue sweep runs) use the same bound — a point's outcome must not
+// depend on which tool ran it.
+const MaxPointCycles = 20_000_000_000
+
 // RunPoint executes one configuration from scratch: build the benchmark at
 // (scale, seed), run it on the paper's scaled machine, and optionally check
 // the result against the serial reference. It is the single execution path
@@ -123,7 +147,7 @@ func RunPoint(p Point, scale bench.Scale, seed int64, validate bool) (*swarm.Sta
 	cfg := swarm.ScaledConfig().WithCores(p.Cores)
 	cfg.Scheduler = p.Kind
 	cfg.Profile = p.Profile
-	cfg.MaxCycles = 20_000_000_000
+	cfg.MaxCycles = MaxPointCycles
 	st, err := inst.Prog.Run(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s under %v at %d cores: %w", p.Name, p.Kind, p.Cores, err)
@@ -161,15 +185,33 @@ func (r *Runner) Run(ctx context.Context, name string, kind swarm.SchedKind, cor
 	return st, nil
 }
 
-// runPoint executes one configuration without touching the cache. It uses
-// the harness seed for the workload regardless of who calls it — the paper
-// methodology holds the input fixed across every configuration — which is
-// also what makes parallel and sequential executions byte-identical.
+// runPoint executes one configuration without touching the in-memory cache.
+// It uses the harness seed for the workload regardless of who calls it — the
+// paper methodology holds the input fixed across every configuration — which
+// is also what makes parallel and sequential executions byte-identical. With
+// a Store configured (and no Exec), the persistent tier is consulted first
+// and every executed result is written through; a store-served result is
+// byte-identical to a computed one by the StatsFromSnapshot round-trip
+// contract.
 func (r *Runner) runPoint(ctx context.Context, p Point) (*swarm.Stats, error) {
 	if r.opt.Exec != nil {
 		return r.opt.Exec(ctx, p)
 	}
-	return RunPoint(p, r.opt.Scale, r.opt.Seed, r.opt.Validate)
+	key := ""
+	if r.opt.Store != nil {
+		key = ConfigKey(r.opt.Scale, r.opt.Seed, p)
+		if st, ok := r.opt.Store.GetStats(key); ok {
+			return st, nil
+		}
+	}
+	st, err := RunPoint(p, r.opt.Scale, r.opt.Seed, r.opt.Validate)
+	if err == nil && r.opt.Store != nil {
+		// Best effort: a full disk or unwritable directory degrades the
+		// store to a read tier, it never fails the run (the store's
+		// write-error counter records it).
+		_ = r.opt.Store.PutStats(key, st)
+	}
+	return st, err
 }
 
 // Prime executes every not-yet-cached point concurrently through the sweep

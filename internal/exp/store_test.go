@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"swarmhints/internal/bench"
+	"swarmhints/internal/store"
+	"swarmhints/swarm"
+)
+
+// TestRunnerReusesStoreAcrossInvocations models two CLI invocations sharing
+// a -store directory: the first runner computes and writes through, the
+// second (a fresh process in real life) serves every point from disk —
+// store hits equal the grid size, so no point reached the engine — and
+// exports byte-identical results.
+func TestRunnerReusesStoreAcrossInvocations(t *testing.T) {
+	dir := t.TempDir()
+	names := []string{"des"}
+	kinds := []swarm.SchedKind{swarm.Random, swarm.Hints}
+	cores := []int{1, 4}
+
+	newRunner := func() (*Runner, *store.Store) {
+		st, err := store.Open(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := DefaultOptions(bench.Tiny)
+		o.Cores = cores
+		o.Store = st
+		return NewRunner(o), st
+	}
+
+	first, st1 := newRunner()
+	if err := first.PrimeGrid(context.Background(), names, kinds, cores, false); err != nil {
+		t.Fatal(err)
+	}
+	if c := st1.Counters(); c.Writes != 4 || c.Hits != 0 {
+		t.Fatalf("first invocation counters %+v, want 4 writes, 0 hits", c)
+	}
+	var a bytes.Buffer
+	if err := first.Export().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+
+	second, st2 := newRunner()
+	if err := second.PrimeGrid(context.Background(), names, kinds, cores, false); err != nil {
+		t.Fatal(err)
+	}
+	if c := st2.Counters(); c.Hits != 4 || c.Writes != 0 {
+		t.Fatalf("second invocation counters %+v, want 4 hits, 0 writes (no recompute)", c)
+	}
+	var b bytes.Buffer
+	if err := second.Export().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("store-served export differs from the computed export")
+	}
+
+	// Runner.Run on a store-warm point also skips execution.
+	if _, err := second.Run(context.Background(), "des", swarm.Stealing, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	if c := st2.Counters(); c.Writes != 1 {
+		t.Fatalf("new point should compute and write through once, got %+v", c)
+	}
+	third, st3 := newRunner()
+	if _, err := third.Run(context.Background(), "des", swarm.Stealing, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	if c := st3.Counters(); c.Hits != 1 || c.Writes != 0 {
+		t.Fatalf("third invocation counters %+v, want 1 hit, 0 writes", c)
+	}
+}

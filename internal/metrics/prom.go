@@ -29,6 +29,24 @@ type PromMetric struct {
 	Values []PromValue
 }
 
+// PromSingle builds a one-series family with no labels — the shape of most
+// operational counters and gauges. typ is "counter" or "gauge".
+func PromSingle(name, help, typ string, v float64) PromMetric {
+	return PromMetric{Name: name, Help: help, Type: typ,
+		Values: []PromValue{{Value: v}}}
+}
+
+// PromPerLabel builds a counter family with one series per map entry,
+// labeled label=key. WriteProm sorts the series, so map order is harmless.
+func PromPerLabel(name, help, label string, m map[string]uint64) PromMetric {
+	pm := PromMetric{Name: name, Help: help, Type: "counter"}
+	for k, v := range m {
+		pm.Values = append(pm.Values, PromValue{
+			Labels: map[string]string{label: k}, Value: float64(v)})
+	}
+	return pm
+}
+
 // labelEscaper escapes label values per the exposition format.
 var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 

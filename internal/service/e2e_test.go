@@ -18,6 +18,7 @@ import (
 	"swarmhints/internal/bench"
 	"swarmhints/internal/exp"
 	"swarmhints/internal/metrics"
+	"swarmhints/internal/store"
 	"swarmhints/swarm"
 )
 
@@ -249,6 +250,130 @@ func TestWarmRunServedFromCacheViaMetrics(t *testing.T) {
 	hits, misses = promCounter(t, ts.URL, "swarmd_cache_hits_total"), promCounter(t, ts.URL, "swarmd_cache_misses_total")
 	if hits != 1 || misses != 1 {
 		t.Fatalf("after warm run: hits=%v misses=%v, want 1/1 (no new simulation)", hits, misses)
+	}
+}
+
+// openStore opens a result store rooted in dir, failing the test on error.
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// sumRuns totals the completed engine executions across benchmarks.
+func sumRuns(c Counters) uint64 {
+	var n uint64
+	for _, v := range c.RunsByBench {
+		n += v
+	}
+	return n
+}
+
+// TestWarmRestartServedFromStore is the warm-restart acceptance check: a
+// fig2-tiny sweep runs against a server with a persistent store, the server
+// is killed, a fresh server starts on the same directory, and the repeated
+// sweep must be byte-identical to the golden with ZERO engine executions —
+// verified through swarmd_store_hits_total and the run counters, exactly as
+// the CI race job exercises it.
+func TestWarmRestartServedFromStore(t *testing.T) {
+	golden := fig2Golden(t)
+	dir := t.TempDir()
+
+	// Cold server: every point computes, is written through, and the sweep
+	// bytes match the golden (compute path).
+	svc, ts := startServer(t, Options{Workers: 4, Validate: true, Store: openStore(t, dir)})
+	cold := postSweep(t, ts.URL, "json")
+	if !bytes.Equal(cold, golden) {
+		t.Fatal("cold sweep with store differs from the golden export")
+	}
+	if runs := sumRuns(svc.Counters()); runs != 8 {
+		t.Fatalf("cold sweep executed %d engine runs, want 8", runs)
+	}
+	if w := svc.Counters().Store.Writes; w != 8 {
+		t.Fatalf("cold sweep wrote %d records through, want 8", w)
+	}
+	// Memory-cache path: same bytes, still zero store hits.
+	warmMem := postSweep(t, ts.URL, "json")
+	if !bytes.Equal(warmMem, golden) {
+		t.Fatal("memory-cached sweep differs from the golden export")
+	}
+	if h := svc.Counters().Store.Hits; h != 0 {
+		t.Fatalf("LRU-served sweep touched the store %d times", h)
+	}
+	// Kill the server: the LRU dies with it, the store does not.
+	ts.Close()
+	svc.Close()
+
+	svc2, ts2 := startServer(t, Options{Workers: 4, Validate: true, Store: openStore(t, dir)})
+	warm := postSweep(t, ts2.URL, "json")
+	if !bytes.Equal(warm, golden) {
+		t.Fatal("store-served sweep differs from the golden export")
+	}
+	if hits := promCounter(t, ts2.URL, "swarmd_store_hits_total"); hits != 8 {
+		t.Fatalf("swarmd_store_hits_total = %v, want 8", hits)
+	}
+	if misses := promCounter(t, ts2.URL, "swarmd_cache_misses_total"); misses != 0 {
+		t.Fatalf("restarted sweep attempted %v simulations, want 0", misses)
+	}
+	if runs := sumRuns(svc2.Counters()); runs != 0 {
+		t.Fatalf("restarted sweep executed %d engine runs, want 0", runs)
+	}
+
+	// Tier order on the restarted server: first lookup came from the store,
+	// a repeat comes from the refilled LRU.
+	cfg := Config{Scale: bench.Tiny, Seed: 7,
+		Point: exp.Point{Name: "des", Kind: swarm.Random, Cores: 1}}
+	if _, src, err := svc2.Stats(context.Background(), cfg); err != nil || src != SourceCache {
+		t.Errorf("second lookup after store fill: src=%v err=%v, want cache", src, err)
+	}
+}
+
+// TestStoreTierSourceAndWriteThrough pins the Stats tier order at the API
+// level: run → store (after a restart) → cache, with the run counter only
+// moving for real executions and all three results byte-identical.
+func TestStoreTierSourceAndWriteThrough(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Scale: bench.Tiny, Seed: 7,
+		Point: exp.Point{Name: "des", Kind: swarm.Hints, Cores: 4}}
+
+	svc := New(Options{Workers: 2, Validate: true, Store: openStore(t, dir)})
+	defer svc.Close()
+	st1, src, err := svc.Stats(context.Background(), cfg)
+	if err != nil || src != SourceRun {
+		t.Fatalf("cold: src=%v err=%v, want run", src, err)
+	}
+	svc.Close()
+
+	svc2 := New(Options{Workers: 2, Validate: true, Store: openStore(t, dir)})
+	defer svc2.Close()
+	st2, src, err := svc2.Stats(context.Background(), cfg)
+	if err != nil || src != SourceStore {
+		t.Fatalf("restarted: src=%v err=%v, want store", src, err)
+	}
+	if c := svc2.Counters(); c.Misses != 0 || sumRuns(c) != 0 {
+		t.Fatalf("store-served lookup counted as a run: %+v", c)
+	}
+	st3, src, err := svc2.Stats(context.Background(), cfg)
+	if err != nil || src != SourceCache {
+		t.Fatalf("repeat: src=%v err=%v, want cache", src, err)
+	}
+
+	// All three tiers must serve byte-identical exports.
+	enc := func(st *swarm.Stats) []byte {
+		var buf bytes.Buffer
+		rs := exp.ExportSet([]exp.Point{cfg.Point}, cfg.Scale, cfg.Seed,
+			func(exp.Point) *swarm.Stats { return st })
+		if err := rs.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b, c := enc(st1), enc(st2), enc(st3)
+	if !bytes.Equal(a, b) || !bytes.Equal(b, c) {
+		t.Error("compute/store/cache tiers export different bytes")
 	}
 }
 

@@ -15,7 +15,6 @@ package service
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -23,6 +22,7 @@ import (
 	"swarmhints/internal/bench"
 	"swarmhints/internal/exp"
 	"swarmhints/internal/metrics"
+	"swarmhints/internal/store"
 	"swarmhints/swarm"
 )
 
@@ -35,9 +35,11 @@ type Config struct {
 }
 
 // Key is the canonical cache key: the (scale, seed) harness prefix followed
-// by the experiment harness's own configuration key.
+// by the experiment harness's own configuration key. Every result tier —
+// the LRU, the in-flight coalescing map, and the persistent store — keys on
+// exactly these bytes.
 func (c Config) Key() string {
-	return fmt.Sprintf("%s/%d/%s", c.Scale, c.Seed, c.Point.Key())
+	return exp.ConfigKey(c.Scale, c.Seed, c.Point)
 }
 
 // Options configures a Service.
@@ -50,6 +52,11 @@ type Options struct {
 	// Validate checks every executed run against its serial reference
 	// before caching or serving it.
 	Validate bool
+	// Store, when non-nil, adds a persistent tier between the LRU and the
+	// worker fleet: lookups go memory → disk → coalesced compute, executed
+	// results are written through, and a restarted (or sibling) swarmd on
+	// the same directory answers repeats with zero engine runs.
+	Store *store.Store
 }
 
 // DefaultOptions returns the standard service configuration: GOMAXPROCS
@@ -64,6 +71,7 @@ type Source string
 // Sources.
 const (
 	SourceCache     Source = "cache"     // answered from the LRU without any work
+	SourceStore     Source = "store"     // answered from the persistent on-disk store
 	SourceRun       Source = "run"       // this request executed the simulation
 	SourceCoalesced Source = "coalesced" // attached to another request's in-flight run
 )
@@ -82,10 +90,12 @@ type flight struct {
 }
 
 // Counters is a point-in-time snapshot of the service's operational
-// counters. Hits+Misses+Coalesced equals the number of Stats calls served;
-// Misses counts the calls that led a new simulation attempt (a cache miss
-// with no flight to join). Attempts that completed appear in RunsByBench —
-// a miss whose caller disconnected while queued executes nothing.
+// counters. Hits+Store.Hits+Misses+Coalesced equals the number of Stats
+// calls served; Misses counts the calls that led a new simulation attempt
+// (a miss in every cache tier with no flight to join). Attempts that
+// completed appear in RunsByBench — a miss whose caller disconnected while
+// queued executes nothing, and a store-served request never reaches the
+// engine at all.
 type Counters struct {
 	Hits      uint64
 	Misses    uint64
@@ -96,6 +106,11 @@ type Counters struct {
 
 	RunsByBench    map[string]uint64 // completed simulations per benchmark
 	ExperimentRuns map[string]uint64 // POST /v1/experiments/{id} invocations
+
+	// Store holds the persistent tier's own counters (zero value when the
+	// service runs without a store); Store.Hits is the store-served request
+	// count in the Hits+Store.Hits+Misses+Coalesced identity.
+	Store store.Counters
 }
 
 // Service is the shared state of a swarmd instance.
@@ -179,9 +194,12 @@ func (s *Service) attachLocked(f *flight, ctx context.Context, leader bool) (rel
 
 // Stats returns the statistics for one configuration: from the LRU cache
 // when resident, by attaching to an identical in-flight run when one
-// exists, and by executing the simulation on the worker fleet otherwise.
-// Exactly one of the three happens per call, and exactly one simulation
-// executes no matter how many callers race on the same configuration.
+// exists, from the persistent store when configured and warm, and by
+// executing the simulation on the worker fleet otherwise. Exactly one of
+// the four happens per call, and exactly one simulation executes no matter
+// how many callers race on the same configuration — the store probe runs
+// under the same in-flight coalescing as a compute, so racing callers share
+// one disk read too.
 func (s *Service) Stats(ctx context.Context, cfg Config) (*swarm.Stats, Source, error) {
 	key := cfg.Key()
 	for {
@@ -224,19 +242,35 @@ func (s *Service) Stats(ctx context.Context, cfg Config) (*swarm.Stats, Source, 
 	s.flights[key] = f
 	s.mu.Unlock()
 
-	s.misses.Add(1)
-	f.st, f.err = s.execute(fctx, cfg)
+	src := SourceRun
+	if s.opt.Store != nil {
+		if st, ok := s.opt.Store.GetStats(key); ok {
+			f.st, src = st, SourceStore
+		}
+	}
+	if src == SourceRun {
+		s.misses.Add(1)
+		f.st, f.err = s.execute(fctx, cfg)
+		if f.err == nil && s.opt.Store != nil {
+			// Write-through, best effort: an unwritable store degrades to a
+			// read tier (its write-error counter records the failures), it
+			// never fails a request that already has its result.
+			_ = s.opt.Store.PutStats(key, f.st)
+		}
+	}
 
 	s.mu.Lock()
 	delete(s.flights, key)
 	if f.err == nil {
 		s.cache.add(key, f.st)
-		s.runs[cfg.Point.Name]++
+		if src == SourceRun {
+			s.runs[cfg.Point.Name]++
+		}
 	}
 	s.mu.Unlock()
 	close(f.done)
 	fcancel() // flight finished; release its context resources
-	return f.st, SourceRun, f.err
+	return f.st, src, f.err
 }
 
 // AcquireSlot blocks until a worker-fleet slot is free (or ctx dies) and
@@ -308,7 +342,7 @@ func (s *Service) Counters() Counters {
 	}
 	cached := s.cache.len()
 	s.mu.Unlock()
-	return Counters{
+	c := Counters{
 		Hits:           s.hits.Load(),
 		Misses:         s.misses.Load(),
 		Coalesced:      s.coalesced.Load(),
@@ -318,32 +352,44 @@ func (s *Service) Counters() Counters {
 		RunsByBench:    runs,
 		ExperimentRuns: expRuns,
 	}
+	if s.opt.Store != nil {
+		c.Store = s.opt.Store.Counters()
+	}
+	return c
 }
 
+// Store returns the persistent result-store tier, or nil when the service
+// runs memory-only.
+func (s *Service) Store() *store.Store { return s.opt.Store }
+
 // PromMetrics renders the operational counters as Prometheus metric
-// families for the /metrics endpoint.
+// families for the /metrics endpoint. The store families appear only when
+// the persistent tier is configured.
 func (s *Service) PromMetrics() []metrics.PromMetric {
 	c := s.Counters()
-	single := func(name, help, typ string, v float64) metrics.PromMetric {
-		return metrics.PromMetric{Name: name, Help: help, Type: typ,
-			Values: []metrics.PromValue{{Value: v}}}
+	fams := []metrics.PromMetric{
+		metrics.PromSingle("swarmd_cache_hits_total", "Requests answered from the LRU result cache.", "counter", float64(c.Hits)),
+		metrics.PromSingle("swarmd_cache_misses_total", "Cache misses: requests that led a new simulation attempt.", "counter", float64(c.Misses)),
+		metrics.PromSingle("swarmd_coalesced_total", "Requests attached to an identical in-flight simulation.", "counter", float64(c.Coalesced)),
+		metrics.PromSingle("swarmd_cache_entries", "Results resident in the LRU cache.", "gauge", float64(c.Cached)),
+		metrics.PromSingle("swarmd_queue_depth", "Requests waiting for a worker-fleet slot.", "gauge", float64(c.Queued)),
+		metrics.PromSingle("swarmd_inflight_runs", "Simulations executing right now.", "gauge", float64(c.InFlight)),
+		metrics.PromPerLabel("swarmd_runs_total", "Completed simulations by benchmark.", "bench", c.RunsByBench),
+		metrics.PromPerLabel("swarmd_experiment_runs_total", "Experiment endpoint invocations by id.", "id", c.ExperimentRuns),
 	}
-	perLabel := func(name, help, label string, m map[string]uint64) metrics.PromMetric {
-		pm := metrics.PromMetric{Name: name, Help: help, Type: "counter"}
-		for k, v := range m {
-			pm.Values = append(pm.Values, metrics.PromValue{
-				Labels: map[string]string{label: k}, Value: float64(v)})
-		}
-		return pm
+	if s.opt.Store != nil {
+		st := c.Store
+		fams = append(fams,
+			metrics.PromSingle("swarmd_store_hits_total", "Requests answered from the persistent result store.", "counter", float64(st.Hits)),
+			metrics.PromSingle("swarmd_store_misses_total", "Persistent-store lookups that found no valid record.", "counter", float64(st.Misses)),
+			metrics.PromSingle("swarmd_store_writes_total", "Results written through to the persistent store.", "counter", float64(st.Writes)),
+			metrics.PromSingle("swarmd_store_corrupt_total", "Store records rejected as truncated or corrupt (served as misses).", "counter", float64(st.Corrupt)),
+			metrics.PromSingle("swarmd_store_evictions_total", "Store records evicted by the size-cap GC.", "counter", float64(st.Evictions)),
+			metrics.PromSingle("swarmd_store_write_errors_total", "Failed store write-throughs (store degraded to a read tier).", "counter", float64(st.WriteErrors)),
+			metrics.PromSingle("swarmd_store_gc_errors_total", "Failed store collection passes (size cap not being enforced).", "counter", float64(st.GCErrors)),
+			metrics.PromSingle("swarmd_store_bytes", "Resident record bytes in the persistent store.", "gauge", float64(st.Bytes)),
+			metrics.PromSingle("swarmd_store_records", "Resident records in the persistent store.", "gauge", float64(st.Records)),
+		)
 	}
-	return []metrics.PromMetric{
-		single("swarmd_cache_hits_total", "Requests answered from the LRU result cache.", "counter", float64(c.Hits)),
-		single("swarmd_cache_misses_total", "Cache misses: requests that led a new simulation attempt.", "counter", float64(c.Misses)),
-		single("swarmd_coalesced_total", "Requests attached to an identical in-flight simulation.", "counter", float64(c.Coalesced)),
-		single("swarmd_cache_entries", "Results resident in the LRU cache.", "gauge", float64(c.Cached)),
-		single("swarmd_queue_depth", "Requests waiting for a worker-fleet slot.", "gauge", float64(c.Queued)),
-		single("swarmd_inflight_runs", "Simulations executing right now.", "gauge", float64(c.InFlight)),
-		perLabel("swarmd_runs_total", "Completed simulations by benchmark.", "bench", c.RunsByBench),
-		perLabel("swarmd_experiment_runs_total", "Experiment endpoint invocations by id.", "id", c.ExperimentRuns),
-	}
+	return fams
 }

@@ -196,6 +196,66 @@ func (s *Stats) Snapshot() *metrics.Snapshot {
 	}
 }
 
+// StatsFromSnapshot rebuilds run statistics from their machine-readable
+// snapshot — the inverse of Snapshot. Counter fields and the per-tile
+// blocks are copied back verbatim; the derived metrics (wasted fraction,
+// load imbalance, traffic fractions) are not stored on Stats and will be
+// recomputed from the same integers they were derived from, so the rebuilt
+// Stats snapshot and export byte-identically to the original run's. The
+// persistent result store (internal/store) relies on this to serve disk
+// records as first-class results.
+func StatsFromSnapshot(sn *metrics.Snapshot) *Stats {
+	tiles := make([]metrics.TileCounters, len(sn.PerTile))
+	copy(tiles, sn.PerTile)
+	var cl *Classification
+	if sn.Classification != nil {
+		cl = &Classification{
+			MultiHintRO:   sn.Classification.MultiHintRO,
+			SingleHintRO:  sn.Classification.SingleHintRO,
+			MultiHintRW:   sn.Classification.MultiHintRW,
+			SingleHintRW:  sn.Classification.SingleHintRW,
+			Arguments:     sn.Classification.Arguments,
+			TotalAccesses: sn.Classification.TotalAccesses,
+		}
+	}
+	return &Stats{
+		Cycles: sn.Cycles,
+		Cores:  sn.Cores,
+		Breakdown: CycleBreakdown{
+			Commit: sn.CommitCycles,
+			Abort:  sn.AbortCycles,
+			Spill:  sn.SpillCycles,
+			Stall:  sn.StallCycles,
+			Empty:  sn.EmptyCycles,
+		},
+
+		CommittedTasks:  sn.CommittedTasks,
+		AbortedAttempts: sn.AbortedAttempts,
+		SquashedTasks:   sn.SquashedTasks,
+		SpilledTasks:    sn.SpilledTasks,
+		StolenTasks:     sn.StolenTasks,
+		EnqueuedTasks:   sn.EnqueuedTasks,
+
+		Traffic: [4]uint64{sn.TrafficMem, sn.TrafficAbort, sn.TrafficTask, sn.TrafficGVT},
+
+		Cache: cache.Stats{
+			L1Hits:         sn.L1Hits,
+			L2Hits:         sn.L2Hits,
+			L3Hits:         sn.L3Hits,
+			MemAccesses:    sn.MemAccesses,
+			RemoteForwards: sn.RemoteForwards,
+			Invalidations:  sn.Invalidations,
+			Writebacks:     sn.Writebacks,
+		},
+		Comparisons: sn.Comparisons,
+		Reconfigs:   int(sn.Reconfigs),
+		GVTRounds:   sn.GVTRounds,
+
+		Tiles:          tiles,
+		Classification: cl,
+	}
+}
+
 // String gives a compact human-readable summary.
 func (s *Stats) String() string {
 	b := s.Breakdown

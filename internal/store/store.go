@@ -1,0 +1,445 @@
+// Package store is the persistent, content-addressed result store shared by
+// swarmd, the CLIs, and the experiment harness: one on-disk record per
+// simulation configuration, keyed by the same canonical key the in-memory
+// caches use (exp.ConfigKey / service.Config.Key), holding the canonical
+// metrics.Snapshot export bytes for that configuration. Because a
+// configuration fully determines its result, records never change once
+// written — the store is a pure cache tier that survives restarts and can be
+// shared by a fleet of concurrent replicas.
+//
+// Durability model: each record is written to a temporary file in the target
+// directory, synced, and renamed into place, so readers only ever observe
+// absent or complete records on a POSIX filesystem. Every record carries a
+// versioned header with its full key and a SHA-256 payload checksum;
+// truncated, torn, zero-length, or bit-flipped records fail validation and
+// are treated as misses, and the next write-through atomically replaces
+// them. Writes are idempotent (same key ⇒ same bytes), which is what makes
+// the directory safely shareable between replicas with no locking: the worst
+// concurrent outcome is two renames of identical content.
+//
+// The store is size-bounded: when the resident bytes exceed the configured
+// cap, a garbage-collection pass evicts records least recently read first
+// (reads touch the record's mtime), until the directory is back under the
+// cap. Stale temporary files left by crashed writers are swept by Open and
+// by every GC pass once they are older than TmpMaxAge.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swarmhints/internal/metrics"
+	"swarmhints/swarm"
+)
+
+// Magic is the first header line of every record file; bump the suffix on
+// any layout change so old records read as misses instead of garbage.
+const Magic = "swarmhints-store.v1"
+
+// recExt is the record-file extension; everything else in the directory is
+// ignored by reads and reclaimed (temp files) or left alone by GC.
+const recExt = ".rec"
+
+// tmpPrefix marks in-progress writes. Temp files live in the same directory
+// as their record so the final rename never crosses a filesystem boundary.
+const tmpPrefix = ".tmp-"
+
+// TmpMaxAge is how old a temporary file must be before Open or GC treats it
+// as debris from a crashed writer and removes it. Live writers hold a temp
+// file for milliseconds; an hour of slack keeps a slow concurrent replica's
+// in-flight write safe.
+const TmpMaxAge = time.Hour
+
+// Counters is a point-in-time snapshot of the store's operational counters.
+// Hits+Misses equals the lookups served; Corrupt counts the misses (and
+// failed decodes) caused by records that exist but fail validation. Bytes
+// and Records track the resident record files; both are exact after Open
+// and every GC pass and maintained incrementally in between, so concurrent
+// replicas sharing a directory may each undercount the other's writes until
+// their next GC.
+type Counters struct {
+	Hits        uint64
+	Misses      uint64
+	Writes      uint64
+	Corrupt     uint64
+	Evictions   uint64
+	WriteErrors uint64
+	GCErrors    uint64 // failed collection passes: the size cap is not being enforced
+	Bytes       int64
+	Records     int64
+}
+
+// Store is one handle on a result-store directory. Handles are safe for
+// concurrent use, and any number of handles (in any number of processes) may
+// share one directory.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	writes      atomic.Uint64
+	corrupt     atomic.Uint64
+	evictions   atomic.Uint64
+	writeErrors atomic.Uint64
+	gcErrors    atomic.Uint64
+	bytes       atomic.Int64
+	records     atomic.Int64
+
+	gcMu sync.Mutex // one GC pass at a time per handle
+}
+
+// tmpSeq distinguishes concurrent in-process writers; together with the pid
+// in the temp-file name it makes every in-flight write's name unique, so
+// replicas (processes) and handles (goroutines) never collide.
+var tmpSeq atomic.Uint64
+
+// Open opens (creating if needed) the store rooted at dir. maxBytes caps the
+// resident record bytes (0 = unbounded); the cap is enforced by evicting the
+// least recently read records after writes that exceed it. Open scans the
+// directory once to initialize the byte/record accounting and to sweep
+// stale temporary files left by crashed writers.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, maxBytes: maxBytes}
+	if _, _, err := s.sweep(0); err != nil {
+		return nil, fmt.Errorf("store: scanning %s: %w", dir, err)
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// MaxBytes returns the configured size cap (0 = unbounded).
+func (s *Store) MaxBytes() int64 { return s.maxBytes }
+
+// Path returns the record path for a key: two levels of fan-out derived
+// from the SHA-256 of the key, so arbitrarily large stores keep directory
+// listings small and the layout is stable across versions.
+func (s *Store) Path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	h := hex.EncodeToString(sum[:])
+	return filepath.Join(s.dir, h[:2], h[2:]+recExt)
+}
+
+// encodeRecord assembles the on-disk record: a three-line header (magic,
+// full key, payload length + SHA-256) followed by the payload bytes.
+func encodeRecord(key string, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	var b bytes.Buffer
+	b.Grow(len(Magic) + len(key) + len(payload) + 96)
+	fmt.Fprintf(&b, "%s\n%s\n%d %s\n", Magic, key, len(payload), hex.EncodeToString(sum[:]))
+	b.Write(payload)
+	return b.Bytes()
+}
+
+// decodeRecord validates a record file's bytes against the expected key and
+// returns the payload. Any violation — wrong magic, wrong key (a hash
+// collision or a misplaced file), bad length, checksum mismatch — is an
+// error the callers translate into a miss.
+func decodeRecord(data []byte, key string) ([]byte, error) {
+	rest := data
+	next := func() (string, error) {
+		i := bytes.IndexByte(rest, '\n')
+		if i < 0 {
+			return "", errors.New("truncated header")
+		}
+		line := string(rest[:i])
+		rest = rest[i+1:]
+		return line, nil
+	}
+	magic, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("bad magic %q", magic)
+	}
+	gotKey, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if gotKey != key {
+		return nil, fmt.Errorf("record holds key %q", gotKey)
+	}
+	sums, err := next()
+	if err != nil {
+		return nil, err
+	}
+	var n int
+	var hexSum string
+	if _, err := fmt.Sscanf(sums, "%d %s", &n, &hexSum); err != nil {
+		return nil, fmt.Errorf("bad checksum line %q", sums)
+	}
+	if n != len(rest) {
+		return nil, fmt.Errorf("payload is %d bytes, header says %d", len(rest), n)
+	}
+	sum := sha256.Sum256(rest)
+	if hex.EncodeToString(sum[:]) != hexSum {
+		return nil, errors.New("payload checksum mismatch")
+	}
+	return rest, nil
+}
+
+// errBadKey rejects keys the line-oriented header cannot carry. Canonical
+// configuration keys never contain newlines; this guards against misuse.
+var errBadKey = errors.New("store: key contains a newline")
+
+// read loads and validates the record for key without touching counters.
+// A missing record returns fs.ErrNotExist; anything else invalid returns a
+// descriptive error.
+func (s *Store) read(key string) ([]byte, error) {
+	if strings.ContainsRune(key, '\n') {
+		return nil, errBadKey
+	}
+	data, err := os.ReadFile(s.Path(key))
+	if err != nil {
+		return nil, err
+	}
+	return decodeRecord(data, key)
+}
+
+// finish translates a read's outcome into counters and the (payload, ok)
+// shape: valid records count a hit and touch the record's read time (the
+// GC's eviction clock); everything else counts a miss, with validation
+// failures additionally counted as corrupt.
+func (s *Store) finish(key string, payload []byte, err error) ([]byte, bool) {
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) && !errors.Is(err, errBadKey) {
+			s.corrupt.Add(1)
+		}
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	now := time.Now()
+	_ = os.Chtimes(s.Path(key), now, now) // best effort: eviction recency only
+	return payload, true
+}
+
+// Get returns the stored payload for key. Missing, truncated, or corrupt
+// records are misses; a hit refreshes the record's eviction recency.
+func (s *Store) Get(key string) ([]byte, bool) {
+	payload, err := s.read(key)
+	return s.finish(key, payload, err)
+}
+
+// Put writes the payload for key: temp file in the record's directory,
+// sync, atomic rename. An existing record — valid or corrupt — is replaced
+// wholesale, which is also how damaged records are repaired by the next
+// write-through. When the write pushes the store past its size cap, a GC
+// pass runs before returning.
+func (s *Store) Put(key string, payload []byte) error {
+	if strings.ContainsRune(key, '\n') {
+		s.writeErrors.Add(1)
+		return errBadKey
+	}
+	rec := encodeRecord(key, payload)
+	path := s.Path(key)
+	if err := s.writeFile(path, rec); err != nil {
+		s.writeErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	s.writes.Add(1)
+	if s.maxBytes > 0 && s.bytes.Load() > s.maxBytes {
+		// The record is durably in place; a failed collection pass must not
+		// report the write as failed. It is counted (GCErrors) so a cap that
+		// silently stopped being enforced is observable.
+		if _, _, err := s.sweep(s.maxBytes); err != nil {
+			s.gcErrors.Add(1)
+		}
+	}
+	return nil
+}
+
+// writeFile is the atomic write: unique temp name (pid + per-handle
+// sequence, so concurrent replicas never collide), sync before rename so a
+// crash after rename cannot leave a hole-filled record.
+func (s *Store) writeFile(path string, rec []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, fmt.Sprintf("%s%d-%d", tmpPrefix, os.Getpid(), tmpSeq.Add(1)))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(rec)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	var prev int64
+	hadPrev := false
+	if fi, serr := os.Stat(path); serr == nil {
+		prev, hadPrev = fi.Size(), true
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if !hadPrev {
+		s.records.Add(1)
+	}
+	s.bytes.Add(int64(len(rec)) - prev)
+	return nil
+}
+
+// GetStats returns the stored result for key decoded back into first-class
+// run statistics. The rebuilt Stats re-snapshot to byte-identical export
+// bytes (see swarm.StatsFromSnapshot), which is what keeps store-served
+// responses indistinguishable from computed ones.
+func (s *Store) GetStats(key string) (*swarm.Stats, bool) {
+	payload, err := s.read(key)
+	var st *swarm.Stats
+	if err == nil {
+		var sn metrics.Snapshot
+		if uerr := json.Unmarshal(payload, &sn); uerr != nil {
+			err = fmt.Errorf("record payload: %w", uerr)
+		} else {
+			st = swarm.StatsFromSnapshot(&sn)
+		}
+	}
+	if _, ok := s.finish(key, payload, err); !ok {
+		return nil, false
+	}
+	return st, true
+}
+
+// PutStats writes a run's result through as its canonical metrics.Snapshot
+// export bytes — the same compact JSON encoding the NDJSON sweep stream
+// uses for a record's stats object.
+func (s *Store) PutStats(key string, st *swarm.Stats) error {
+	payload, err := json.Marshal(st.Snapshot())
+	if err != nil {
+		s.writeErrors.Add(1)
+		return fmt.Errorf("store: encoding %s: %w", key, err)
+	}
+	return s.Put(key, payload)
+}
+
+// Counters snapshots the operational counters.
+func (s *Store) Counters() Counters {
+	return Counters{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Writes:      s.writes.Load(),
+		Corrupt:     s.corrupt.Load(),
+		Evictions:   s.evictions.Load(),
+		WriteErrors: s.writeErrors.Load(),
+		GCErrors:    s.gcErrors.Load(),
+		Bytes:       s.bytes.Load(),
+		Records:     s.records.Load(),
+	}
+}
+
+// GC runs one collection pass against the configured cap and returns how
+// many records it evicted. It also re-synchronizes the byte/record
+// accounting with the directory (which another replica may have grown) and
+// sweeps stale temp files. Put triggers it automatically; it is exported
+// for operational tooling and tests.
+func (s *Store) GC() (evicted int, err error) {
+	evicted, _, err = s.sweep(s.maxBytes)
+	if err != nil {
+		s.gcErrors.Add(1)
+	}
+	return evicted, err
+}
+
+// storeRec is one record file seen by a sweep.
+type storeRec struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// sweep walks the directory, reclaims stale temp files, rebuilds the exact
+// byte/record accounting, and — when cap > 0 — evicts least-recently-read
+// records until the resident bytes fit the cap. Ties on read time break by
+// path so concurrent replicas converge on the same eviction order.
+func (s *Store) sweep(limit int64) (evicted int, total int64, err error) {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+
+	var recs []storeRec
+	staleBefore := time.Now().Add(-TmpMaxAge)
+	walkErr := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			// A concurrently evicted file or directory is not a failure.
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		switch {
+		case strings.HasPrefix(name, tmpPrefix):
+			if fi, ierr := d.Info(); ierr == nil && fi.ModTime().Before(staleBefore) {
+				_ = os.Remove(path) // crashed writer's debris
+			}
+		case strings.HasSuffix(name, recExt):
+			fi, ierr := d.Info()
+			if ierr != nil {
+				return nil // raced with an eviction
+			}
+			recs = append(recs, storeRec{path: path, size: fi.Size(), mtime: fi.ModTime()})
+		}
+		return nil
+	})
+	if walkErr != nil {
+		return 0, 0, walkErr
+	}
+	for _, r := range recs {
+		total += r.size
+	}
+	if limit > 0 && total > limit {
+		sort.Slice(recs, func(i, j int) bool {
+			if !recs[i].mtime.Equal(recs[j].mtime) {
+				return recs[i].mtime.Before(recs[j].mtime)
+			}
+			return recs[i].path < recs[j].path
+		})
+		for _, r := range recs {
+			if total <= limit {
+				break
+			}
+			if err := os.Remove(r.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				continue // transient; next pass retries
+			}
+			total -= r.size
+			evicted++
+		}
+	}
+	s.bytes.Store(total)
+	s.records.Store(int64(len(recs) - evicted))
+	s.evictions.Add(uint64(evicted))
+	return evicted, total, nil
+}

@@ -5,6 +5,8 @@
 package task
 
 import (
+	"sort"
+
 	"swarmhints/internal/hashutil"
 	"swarmhints/internal/mem"
 	"swarmhints/internal/sig"
@@ -301,13 +303,20 @@ func (h orderHeap) down(i int) {
 // the tile (idle, running, or finished) counts against the task-queue
 // capacity; finished tasks additionally occupy commit-queue entries.
 type Queue struct {
-	tile        int
-	capacity    int
-	commitCap   int
-	idle        orderHeap
-	resident    int // idle + running + finished tasks on this tile
-	commitUsed  int
-	spillBuffer []*Task // tasks spilled to memory, kept in order
+	tile       int
+	capacity   int
+	commitCap  int
+	idle       orderHeap
+	resident   int // idle + running + finished tasks on this tile
+	commitUsed int
+	// spillBuffer holds tasks spilled to memory, kept sorted descending by
+	// speculative order (earliest task at the end) as an invariant: Spill
+	// merges its sorted batch in, SpillDirect binary-inserts, and Refill
+	// pops earliest-first from the tail — so no path re-sorts the whole
+	// buffer per coalescer firing. Squashed tasks linger (state-marked)
+	// until Refill or DropSquashedSpills drops them; neither disturbs the
+	// order.
+	spillBuffer []*Task
 	walkScratch []int32 // reused by IdleInOrder's frontier walk
 	listScratch []*Task // reused for Spill/Refill result lists
 }
@@ -503,11 +512,18 @@ func (q *Queue) SquashFinished(t *Task) {
 
 // SpillDirect sends a brand-new task straight to the spill buffer, used
 // when the task queue is exhausted and nothing is spillable: the descriptor
-// overflows to memory rather than stalling the enqueuer forever.
+// overflows to memory rather than stalling the enqueuer forever. The task
+// is binary-inserted to keep the buffer's descending order.
 func (q *Queue) SpillDirect(t *Task) {
 	t.State = Spilled
 	t.Tile = q.tile
-	q.spillBuffer = append(q.spillBuffer, t)
+	// First index whose task is earlier than t; t belongs right before it.
+	i := sort.Search(len(q.spillBuffer), func(i int) bool {
+		return q.spillBuffer[i].ordBefore(t)
+	})
+	q.spillBuffer = append(q.spillBuffer, nil)
+	copy(q.spillBuffer[i+1:], q.spillBuffer[i:])
+	q.spillBuffer[i] = t
 }
 
 // RemoveIdle extracts an idle task (for stealing) without squashing it.
@@ -544,19 +560,43 @@ func (q *Queue) Spill(max int) []*Task {
 		q.idle.remove(t)
 		q.resident--
 		t.State = Spilled
-		q.spillBuffer = append(q.spillBuffer, t)
 	}
+	q.mergeSpill(cands)
 	return cands
 }
 
+// mergeSpill merges a descending-sorted batch into the (also descending)
+// spill buffer in one backward pass: O(buffer+batch) worst case, and O(batch)
+// when the batch's orders all follow the buffered ones — the common case, as
+// spills take the latest orders and refills drain the earliest. Reads come
+// from the batch slice (separate backing array), so overwriting the buffer's
+// grown tail is safe.
+func (q *Queue) mergeSpill(batch []*Task) {
+	n := len(q.spillBuffer)
+	q.spillBuffer = append(q.spillBuffer, batch...)
+	if n == 0 {
+		return
+	}
+	i, j := n-1, len(batch)-1
+	for w := len(q.spillBuffer) - 1; j >= 0; w-- {
+		if i >= 0 && q.spillBuffer[i].ordBefore(batch[j]) {
+			q.spillBuffer[w] = q.spillBuffer[i]
+			i--
+		} else {
+			q.spillBuffer[w] = batch[j]
+			j--
+		}
+	}
+}
+
 // Refill moves up to max spilled tasks back into the queue while space
-// allows, earliest order first. It returns the refilled tasks; the slice is
-// scratch reused by the next Spill or Refill.
+// allows, earliest order first — the buffer's sorted invariant puts them at
+// the tail, so no re-sort happens here. It returns the refilled tasks; the
+// slice is scratch reused by the next Spill or Refill.
 func (q *Queue) Refill(max int) []*Task {
 	if len(q.spillBuffer) == 0 {
 		return nil
 	}
-	sortTasksByOrderDesc(q.spillBuffer) // last element = earliest
 	back := q.listScratch[:0]
 	defer func() { q.listScratch = back[:0] }()
 	for len(back) < max && len(q.spillBuffer) > 0 && !q.Full() {
@@ -614,10 +654,9 @@ func (q *Queue) EarliestUncommitted(running []*Task, finished []*Task) Order {
 // sortTasksByOrderDesc sorts descending by speculative order. Order keys are
 // unique (TS, ID), so every correct sort yields the same permutation and the
 // algorithm choice cannot perturb engine determinism. Insertion sort handles
-// small and already-sorted inputs (the spill buffer between appends) in
-// linear-ish time; larger unsorted inputs — Spill's candidate scans and the
-// buffer after heavy spill churn, where an O(n²) pass was the engine's top
-// hot spot — take the quicksort path.
+// small inputs in linear-ish time; larger unsorted inputs — Spill's
+// candidate scans, the one remaining caller now that the spill buffer keeps
+// itself sorted — take the quicksort path.
 func sortTasksByOrderDesc(ts []*Task) {
 	if len(ts) > 32 {
 		quickSortTasksDesc(ts, 0, len(ts)-1)

@@ -75,6 +75,13 @@ type ResultSet = metrics.ResultSet
 // NewResultSet returns an empty result set with the given label columns.
 func NewResultSet(fields ...string) *ResultSet { return metrics.NewResultSet(fields...) }
 
+// StatsFromSnapshot rebuilds run statistics from their machine-readable
+// snapshot, the inverse of Stats.Snapshot: the rebuilt Stats snapshot and
+// export byte-identically to the run that produced the snapshot. The
+// persistent result store uses it to serve disk records as first-class
+// results.
+func StatsFromSnapshot(sn *Snapshot) *Stats { return sim.StatsFromSnapshot(sn) }
+
 // Scheduler kinds (Sec. II-C and VI of the paper).
 const (
 	Random      = sched.Random
