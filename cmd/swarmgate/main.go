@@ -1,0 +1,117 @@
+// Command swarmgate fronts a fleet of swarmd replicas with an adaptive
+// routing gateway (internal/gate). It exposes the same /v1 surface as a
+// single swarmd — same swarm/api request/response contract, same error
+// envelope, byte-identical responses — but decomposes each sweep grid
+// into points and routes every point to a replica through a pluggable
+// balancer, with per-point timeouts and bounded retry-on-retryable
+// against a different replica. A replica killed mid-sweep is drained and
+// its in-flight points are re-routed, so the sweep still completes.
+//
+// Endpoints (identical contract to swarmd):
+//
+//	POST /v1/run              one configuration, routed to one replica
+//	POST /v1/sweep            a grid, fanned out and reassembled in config order
+//	GET  /v1/experiments      proxied replica experiment listing
+//	POST /v1/experiments/{id} proxied to one replica (retried on retryable failure)
+//	GET  /healthz             gateway liveness + per-replica health map
+//	GET  /metrics             Prometheus text: swarmgate_* routing counters
+//
+// Usage:
+//
+//	swarmgate -replicas http://10.0.0.1:8080,http://10.0.0.2:8080
+//	swarmgate -replicas ... -balancer p2c          # power-of-two-choices
+//	swarmgate -replicas ... -balancer roundrobin   # no-signal baseline
+//	swarmgate -replicas ... -point-timeout 2m -retries 5
+//
+// The default balancer is "adaptive": pheromone-style scores, reinforced
+// by success latency and decayed multiplicatively on error/timeout, with
+// roulette-wheel routing proportional to score. Replicas should share a
+// -store directory so any replica can serve any previously computed point.
+//
+// SIGINT/SIGTERM starts a graceful shutdown: the listener closes,
+// in-flight requests drain for -drain, then remaining routing is canceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"swarmhints/internal/cliutil"
+	"swarmhints/internal/gate"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8090", "listen address (host:port; port 0 = ephemeral)")
+		replicas    = flag.String("replicas", "", "comma-separated swarmd base URLs (required), e.g. http://10.0.0.1:8080,http://10.0.0.2:8080")
+		balancer    = flag.String("balancer", gate.BalancerAdaptive, "routing policy: adaptive, p2c, or roundrobin")
+		pointTO     = flag.Duration("point-timeout", 5*time.Minute, "per-attempt timeout for one point (0 = none)")
+		retries     = flag.Int("retries", 3, "extra attempts for a retryable point failure, each on a different replica")
+		concurrency = flag.Int("concurrency", 0, "max points in flight per request (0 = 4 x replicas)")
+		probe       = flag.Duration("probe", time.Second, "background /healthz probe interval (negative = disabled)")
+		seed        = flag.Int64("seed", 1, "balancer PRNG seed (routing is reproducible for a fixed seed)")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	urls, err := cliutil.ParseReplicas(*replicas)
+	if err != nil {
+		log.Fatalf("swarmgate: %v", err)
+	}
+	g, err := gate.New(gate.Options{
+		Replicas:      urls,
+		Balancer:      *balancer,
+		PointTimeout:  *pointTO,
+		Retries:       *retries,
+		Concurrency:   *concurrency,
+		ProbeInterval: *probe,
+		Seed:          *seed,
+	})
+	if err != nil {
+		log.Fatalf("swarmgate: %v", err)
+	}
+	srv := &http.Server{
+		Handler: g.Handler(),
+		// Requests inherit the gateway lifetime: Close cancels them all.
+		BaseContext: func(net.Listener) context.Context { return g.Context() },
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("swarmgate: %v", err)
+	}
+	log.Printf("swarmgate: listening on %s (%d replicas, %s balancer)", ln.Addr(), len(urls), *balancer)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("swarmgate: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests, and cut
+	// off stragglers by canceling the gateway context at the drain deadline.
+	log.Printf("swarmgate: shutting down (draining up to %v)", *drain)
+	killTimer := time.AfterFunc(*drain, g.Close)
+	defer killTimer.Stop()
+	sdCtx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sdCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("swarmgate: shutdown: %v", err)
+	}
+	g.Close()
+	fmt.Fprintln(os.Stderr, "swarmgate: bye")
+}

@@ -9,6 +9,7 @@ package cliutil
 import (
 	"fmt"
 	"io"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
@@ -59,6 +60,52 @@ func ParseSched(s string) (swarm.SchedKind, error) {
 		return swarm.LBIdleProxy, nil
 	}
 	return 0, fmt.Errorf("unknown scheduler %q (have random, stealing, hints, lbhints, lbidle)", s)
+}
+
+// SchedFlag returns the wire/flag name of a scheduler kind — the inverse
+// of ParseSched, so SchedFlag(k) always round-trips. (Kind.String is the
+// paper's figure-legend spelling, which for LBIdleProxy differs from the
+// parseable name.)
+func SchedFlag(k swarm.SchedKind) string {
+	switch k {
+	case swarm.Random:
+		return "random"
+	case swarm.Stealing:
+		return "stealing"
+	case swarm.Hints:
+		return "hints"
+	case swarm.LBHints:
+		return "lbhints"
+	case swarm.LBIdleProxy:
+		return "lbidle"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ParseReplicas parses the comma-separated replica URL list of the
+// swarmgate -replicas flag: each entry must be an absolute http(s) URL,
+// duplicates are rejected (a doubled replica would silently skew every
+// balancer), and trailing slashes are normalized away.
+func ParseReplicas(s string) ([]string, error) {
+	list := SplitList(s)
+	if len(list) == 0 {
+		return nil, fmt.Errorf("-replicas must list at least one URL")
+	}
+	seen := make(map[string]bool, len(list))
+	out := make([]string, 0, len(list))
+	for _, r := range list {
+		u, err := url.Parse(r)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("bad replica URL %q (want http://host:port)", r)
+		}
+		norm := strings.TrimRight(r, "/")
+		if seen[norm] {
+			return nil, fmt.Errorf("duplicate replica URL %q", norm)
+		}
+		seen[norm] = true
+		out = append(out, norm)
+	}
+	return out, nil
 }
 
 // ParseScheds parses a comma-separated scheduler list.

@@ -144,3 +144,38 @@ func TestOpenStoreDisabled(t *testing.T) {
 		t.Fatalf("OpenStore: %v, %v", s, err)
 	}
 }
+
+// TestSchedFlagRoundTrips: SchedFlag is the inverse of ParseSched for
+// every scheduler kind — the gateway relies on this to forward per-point
+// requests a replica will parse back to the same kind.
+func TestSchedFlagRoundTrips(t *testing.T) {
+	for _, k := range []swarm.SchedKind{
+		swarm.Random, swarm.Stealing, swarm.Hints, swarm.LBHints, swarm.LBIdleProxy,
+	} {
+		got, err := ParseSched(SchedFlag(k))
+		if err != nil || got != k {
+			t.Errorf("ParseSched(SchedFlag(%v)) = %v, %v; want round-trip", k, got, err)
+		}
+	}
+}
+
+func TestParseReplicas(t *testing.T) {
+	got, err := ParseReplicas("http://a:8080/, https://b:9090")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, "|") != "http://a:8080|https://b:9090" {
+		t.Fatalf("ParseReplicas = %v", got)
+	}
+	for _, bad := range []string{
+		"",
+		"a:8080",                       // no scheme
+		"ftp://a:8080",                 // wrong scheme
+		"http://a:8080,http://a:8080/", // duplicate after normalization
+		"http://",                      // no host
+	} {
+		if _, err := ParseReplicas(bad); err == nil {
+			t.Errorf("ParseReplicas(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,372 @@
+package gate
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"swarmhints/internal/service"
+	"swarmhints/internal/store"
+	"swarmhints/swarm/api"
+)
+
+// fig2SweepBody is the same fig2-tiny grid the service e2e tests use: its
+// golden export (internal/exp/testdata) is the differential oracle for the
+// gateway's byte-identity guarantee.
+const fig2SweepBody = `{
+	"benches": ["des"],
+	"scheds":  ["random", "stealing", "hints", "lbhints"],
+	"cores":   [1, 4],
+	"scale":   "tiny",
+	"format":  "%s"
+}`
+
+func fig2Golden(t *testing.T) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "exp", "testdata", "export_fig2_tiny.golden.json"))
+	if err != nil {
+		t.Fatalf("golden export missing: %v", err)
+	}
+	return b
+}
+
+// startReplica boots one in-process swarmd replica, optionally on a shared
+// persistent store directory.
+func startReplica(t *testing.T, storeDir string) *httptest.Server {
+	t.Helper()
+	opt := service.Options{Workers: 4, Validate: true}
+	if storeDir != "" {
+		st, err := store.Open(storeDir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Store = st
+	}
+	svc := service.New(opt)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	return ts
+}
+
+// startGateway fronts the given replicas. The background prober is
+// disabled so tests control health deterministically (in-band outcomes and
+// explicit ProbeOnce calls still maintain it).
+func startGateway(t *testing.T, balancer string, replicas ...string) (*Gateway, *httptest.Server) {
+	t.Helper()
+	g, err := New(Options{
+		Replicas:      replicas,
+		Balancer:      balancer,
+		Retries:       3,
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(func() { ts.Close(); g.Close() })
+	return g, ts
+}
+
+func post(t *testing.T, url, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func postSweep(t *testing.T, url, format string) []byte {
+	t.Helper()
+	resp, b := post(t, url, "/v1/sweep", strings.Replace(fig2SweepBody, "%s", format, 1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, b)
+	}
+	return b
+}
+
+// TestGatewaySweepMatchesSingleSwarmd is the gateway's acceptance
+// criterion: for every balancer and every response format, a fig2-tiny
+// sweep through a 3-replica fleet produces exactly the bytes a single
+// swarmd produces — and the JSON leg exactly the committed golden export.
+func TestGatewaySweepMatchesSingleSwarmd(t *testing.T) {
+	single := startReplica(t, "")
+	want := map[string][]byte{}
+	for _, format := range []string{"ndjson", "json", "csv"} {
+		want[format] = postSweep(t, single.URL, format)
+	}
+	if !bytes.Equal(want["json"], fig2Golden(t)) {
+		t.Fatal("single-swarmd JSON sweep no longer matches the golden; fix that first")
+	}
+
+	dir := t.TempDir() // one store shared by the whole fleet
+	r1, r2, r3 := startReplica(t, dir), startReplica(t, dir), startReplica(t, dir)
+	for _, balancer := range []string{BalancerAdaptive, BalancerP2C, BalancerRoundRobin} {
+		g, ts := startGateway(t, balancer, r1.URL, r2.URL, r3.URL)
+		for _, format := range []string{"ndjson", "json", "csv"} {
+			got := postSweep(t, ts.URL, format)
+			if !bytes.Equal(got, want[format]) {
+				t.Errorf("%s/%s: gateway bytes differ from single swarmd (%d vs %d bytes)",
+					balancer, format, len(got), len(want[format]))
+			}
+		}
+		c := g.Counters()
+		if c.Points < 24 { // 8 points x 3 formats
+			t.Errorf("%s: gateway served %d points, want >= 24", balancer, c.Points)
+		}
+		if c.Sweeps != 3 {
+			t.Errorf("%s: gateway counted %d sweeps, want 3", balancer, c.Sweeps)
+		}
+	}
+}
+
+// flakyReplica fronts a live replica but aborts every /v1/run after the
+// first one mid-response — the deterministic stand-in for a replica killed
+// mid-sweep (in-flight request cut, replica unreachable afterwards).
+func flakyReplica(t *testing.T, backend *httptest.Server) *httptest.Server {
+	t.Helper()
+	var runs atomic.Int64
+	var killed atomic.Bool
+	proxy := func(w http.ResponseWriter, r *http.Request) {
+		if killed.Load() {
+			panic(http.ErrAbortHandler) // dead to every endpoint, probes included
+		}
+		if r.URL.Path == "/v1/run" && runs.Add(1) > 1 {
+			killed.Store(true)
+			panic(http.ErrAbortHandler) // cut the connection like a kill -9
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, backend.URL+r.URL.Path, r.Body)
+		if err != nil {
+			panic(http.ErrAbortHandler)
+		}
+		req.Header = r.Header
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		if err != nil {
+			panic(http.ErrAbortHandler)
+		}
+		defer resp.Body.Close()
+		for k, v := range resp.Header {
+			w.Header()[k] = v
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(proxy))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestGatewayReplicaKilledMidSweep: one of three replicas dies after
+// serving its first point. The sweep must still complete with exactly the
+// golden bytes — in-flight points on the dead replica re-route to the
+// survivors — and the failure must be visible in swarmgate_replica_failed_total.
+// (Round-robin guarantees the doomed replica receives >= 2 of the 8 points,
+// so at least one is cut mid-flight.)
+func TestGatewayReplicaKilledMidSweep(t *testing.T) {
+	dir := t.TempDir()
+	r1, r2 := startReplica(t, dir), startReplica(t, dir)
+	flaky := flakyReplica(t, startReplica(t, dir))
+
+	g, ts := startGateway(t, BalancerRoundRobin, r1.URL, r2.URL, flaky.URL)
+	got := postSweep(t, ts.URL, "ndjson")
+
+	// The stream is complete — trailer and all — and reassembles to golden.
+	dec, err := api.NewStreamDecoder(bytes.NewReader(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for {
+		_, ok, err := dec.Next()
+		if err != nil {
+			t.Fatalf("gateway stream after replica kill: %v", err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 8 || dec.Trailer() == nil || !dec.Trailer().Complete {
+		t.Fatalf("stream carried %d records, trailer %+v; want 8 and complete", n, dec.Trailer())
+	}
+	single := startReplica(t, "")
+	if want := postSweep(t, single.URL, "ndjson"); !bytes.Equal(got, want) {
+		t.Error("post-kill gateway stream differs from a single swarmd's bytes")
+	}
+
+	// A probe against the now-dead replica drains it (a late in-band
+	// success can race the failure, so health is asserted post-probe).
+	g.ProbeOnce(context.Background())
+	c := g.Counters()
+	if c.Failed[flaky.URL] == 0 {
+		t.Errorf("no failures recorded on the killed replica: %+v", c.Failed)
+	}
+	if c.Healthy[flaky.URL] {
+		t.Error("killed replica still marked healthy after probe")
+	}
+	if failed := promCounter(t, ts.URL, `swarmgate_replica_failed_total\{replica="`+regexp.QuoteMeta(flaky.URL)+`"\}`); failed == 0 {
+		t.Error("swarmgate_replica_failed_total not incremented for the killed replica")
+	}
+	if c.Retried[r1.URL]+c.Retried[r2.URL] == 0 {
+		t.Error("no re-routed retries recorded on the surviving replicas")
+	}
+}
+
+// promCounter extracts one metric value from the gateway's /metrics;
+// pattern is a regexp matching the series name (with labels).
+func promCounter(t *testing.T, url, pattern string) float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	m := regexp.MustCompile(`(?m)^` + pattern + ` (\S+)$`).FindSubmatch(b)
+	if m == nil {
+		t.Fatalf("metric /%s/ missing from /metrics:\n%s", pattern, b)
+	}
+	v, err := strconv.ParseFloat(string(m[1]), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestGatewayRunMatchesSingleSwarmd: the single-point proxy path is
+// byte-identical too, and reports which replica served it.
+func TestGatewayRunMatchesSingleSwarmd(t *testing.T) {
+	single := startReplica(t, "")
+	body := `{"bench":"des","sched":"random","cores":1,"scale":"tiny"}`
+	resp, want := post(t, single.URL, "/v1/run", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single run status %d: %s", resp.StatusCode, want)
+	}
+
+	dir := t.TempDir()
+	r1, r2 := startReplica(t, dir), startReplica(t, dir)
+	_, ts := startGateway(t, BalancerAdaptive, r1.URL, r2.URL)
+	resp, got := post(t, ts.URL, "/v1/run", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway run status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("gateway /v1/run bytes differ from single swarmd")
+	}
+	if rep := resp.Header.Get("X-Swarmgate-Replica"); rep != r1.URL && rep != r2.URL {
+		t.Errorf("X-Swarmgate-Replica = %q, want one of the fleet", rep)
+	}
+}
+
+// TestGatewayErrorEnvelope: the gateway speaks the same error contract as
+// the replicas — structured envelope, same codes, no plain-text bodies —
+// including for requests it rejects locally without touching the fleet.
+func TestGatewayErrorEnvelope(t *testing.T) {
+	r1 := startReplica(t, "")
+	_, ts := startGateway(t, BalancerAdaptive, r1.URL)
+	cases := []struct {
+		path   string
+		body   string
+		code   api.Code
+		status int
+	}{
+		{"/v1/run", `{"bench":"no-such","sched":"hints","cores":1,"scale":"tiny"}`, api.CodeUnknownBench, 400},
+		{"/v1/run", `{"bench":`, api.CodeBadRequest, 400},
+		{"/v1/sweep", `{"benches":["des"],"scheds":["hints"],"cores":[1],"scale":"tiny","format":"xml"}`, api.CodeUnknownFormat, 400},
+		{"/v1/sweep", `{"benches":[],"scheds":["hints"],"cores":[1],"scale":"tiny"}`, api.CodeBadRequest, 400},
+		{"/v1/experiments/fig99", `{}`, api.CodeUnknownExperiment, 404},
+	}
+	for _, tc := range cases {
+		resp, b := post(t, ts.URL, tc.path, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.path, resp.StatusCode, tc.status, b)
+			continue
+		}
+		aerr := api.DecodeError(resp.StatusCode, bytes.TrimSpace(b))
+		if aerr.Code != tc.code {
+			t.Errorf("%s: code %q, want %q (%s)", tc.path, aerr.Code, tc.code, b)
+		}
+	}
+}
+
+// TestGatewayExperimentProxy: listing and running experiments through the
+// gateway returns exactly what a replica returns.
+func TestGatewayExperimentProxy(t *testing.T) {
+	single := startReplica(t, "")
+	wantList := func(url string) []byte {
+		resp, err := http.Get(url + "/v1/experiments")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return b
+	}
+	dir := t.TempDir()
+	r1, r2 := startReplica(t, dir), startReplica(t, dir)
+	_, ts := startGateway(t, BalancerAdaptive, r1.URL, r2.URL)
+	if got, want := wantList(ts.URL), wantList(single.URL); !bytes.Equal(got, want) {
+		t.Errorf("gateway experiment listing differs:\n%s\nvs\n%s", got, want)
+	}
+
+	body := `{"scale":"tiny","cores":[1,4]}`
+	resp, got := post(t, ts.URL, "/v1/experiments/fig2", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway fig2 status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, fig2Golden(t)) {
+		t.Error("gateway-proxied fig2 differs from the golden export")
+	}
+}
+
+// TestGatewayHealthProbing: ProbeOnce demotes an unreachable replica and
+// re-admits it; /healthz reports the per-replica map.
+func TestGatewayHealthProbing(t *testing.T) {
+	r1 := startReplica(t, "")
+	dead := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+
+	g, ts := startGateway(t, BalancerAdaptive, r1.URL, deadURL)
+	g.ProbeOnce(context.Background())
+	c := g.Counters()
+	if !c.Healthy[r1.URL] || c.Healthy[deadURL] {
+		t.Fatalf("health after probe = %+v, want live=true dead=false", c.Healthy)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway healthz status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(b), `"status":"ok"`) || !strings.Contains(string(b), `false`) {
+		t.Fatalf("healthz body lacks status or replica map: %s", b)
+	}
+
+	// Routing avoids the demoted replica entirely...
+	resp2, body := post(t, ts.URL, "/v1/run", `{"bench":"des","sched":"random","cores":1,"scale":"tiny"}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("run with a dead replica in the fleet: %d %s", resp2.StatusCode, body)
+	}
+	if got := resp2.Header.Get("X-Swarmgate-Replica"); got != r1.URL {
+		t.Errorf("point routed to %q, want the healthy replica", got)
+	}
+}

@@ -1,0 +1,310 @@
+// Package gate is the fleet front door behind cmd/swarmgate: an HTTP
+// gateway exposing the same /v1 surface as a single swarmd (swarm/api
+// contract), which decomposes sweep grids point-by-point across a fleet
+// of swarmd replicas, routes each point through a pluggable balancer
+// (adaptive pheromone scoring, power-of-two-choices, or round-robin),
+// executes with a per-point timeout and bounded retry-on-retryable
+// against a different replica, and reassembles the canonical-order
+// response stream — so gateway output is byte-identical to a single
+// swarmd's for the same request.
+//
+// Health is maintained two ways: a background prober polls every
+// replica's /healthz, and in-band outcomes adjust both the health flag
+// (transport failures and shutting_down responses drain a replica) and
+// the balancer's scores. A replica killed mid-sweep therefore stops
+// receiving new points, its in-flight points are re-routed to surviving
+// replicas, and the sweep still completes.
+package gate
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swarmhints/internal/metrics"
+	"swarmhints/swarm/api"
+)
+
+// Options configures a Gateway.
+type Options struct {
+	// Replicas are the swarmd base URLs the gateway fans out over.
+	Replicas []string
+	// Balancer selects the routing policy: adaptive (default), p2c, or
+	// roundrobin.
+	Balancer string
+	// PointTimeout bounds each routing attempt of one point (0 = none).
+	// A timed-out attempt counts as a failure and retries elsewhere.
+	PointTimeout time.Duration
+	// Retries is how many additional attempts a retryable point failure
+	// gets, each against a different replica when one exists (default 3).
+	Retries int
+	// Concurrency bounds how many points the gateway keeps in flight per
+	// request (0 = 4 × replicas).
+	Concurrency int
+	// ProbeInterval is the background /healthz polling period (0 = 1s;
+	// negative disables the prober — in-band outcomes still maintain
+	// health, and tests drive ProbeOnce directly).
+	ProbeInterval time.Duration
+	// Seed feeds the randomized balancers' PRNG (default 1).
+	Seed int64
+	// HTTPClient overrides the transport used for replica requests.
+	HTTPClient *http.Client
+}
+
+// probeTimeout bounds one background /healthz probe.
+const probeTimeout = 2 * time.Second
+
+// replica is the gateway's view of one swarmd instance.
+type replica struct {
+	url    string
+	client *api.Client
+
+	healthy  atomic.Bool
+	inflight atomic.Int64
+	routed   atomic.Uint64 // attempts routed here (including retries)
+	retried  atomic.Uint64 // attempts routed here that were retries of a failure elsewhere
+	failed   atomic.Uint64 // attempts that failed here
+}
+
+// Gateway routes /v1 requests over a swarmd replica fleet.
+type Gateway struct {
+	opt      Options
+	replicas []*replica
+	bal      Balancer
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	sweeps atomic.Uint64
+	points atomic.Uint64
+}
+
+// New builds a Gateway and starts its health prober (unless disabled).
+func New(opt Options) (*Gateway, error) {
+	if len(opt.Replicas) == 0 {
+		return nil, fmt.Errorf("gate: at least one replica required")
+	}
+	if opt.Retries < 0 {
+		opt.Retries = 0
+	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = 4 * len(opt.Replicas)
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.ProbeInterval == 0 {
+		opt.ProbeInterval = time.Second
+	}
+	bal, err := NewBalancer(opt.Balancer, len(opt.Replicas), opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{opt: opt, bal: bal}
+	g.ctx, g.cancel = context.WithCancel(context.Background())
+	for _, u := range opt.Replicas {
+		r := &replica{url: u, client: api.NewClient(u, opt.HTTPClient)}
+		r.healthy.Store(true) // optimistic: demoted by the first failed probe or attempt
+		g.replicas = append(g.replicas, r)
+	}
+	if opt.ProbeInterval > 0 {
+		g.wg.Add(1)
+		go g.probeLoop()
+	}
+	return g, nil
+}
+
+// Close stops the prober and aborts in-flight routing. Safe to call more
+// than once.
+func (g *Gateway) Close() {
+	g.cancel()
+	g.wg.Wait()
+}
+
+// Context returns the gateway's lifetime context. HTTP servers should use
+// it as their BaseContext so Close cancels every in-flight request.
+func (g *Gateway) Context() context.Context { return g.ctx }
+
+// probeLoop polls every replica's /healthz until Close.
+func (g *Gateway) probeLoop() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.opt.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.ctx.Done():
+			return
+		case <-t.C:
+			g.ProbeOnce(g.ctx)
+		}
+	}
+}
+
+// ProbeOnce probes every replica's /healthz once, concurrently, and
+// updates the health flags. Exported so tests (and operators' debug
+// tooling) can force a probe cycle deterministically.
+func (g *Gateway) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, r := range g.replicas {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, probeTimeout)
+			defer cancel()
+			r.healthy.Store(r.client.Healthz(pctx) == nil)
+		}()
+	}
+	wg.Wait()
+}
+
+// pick chooses the replica for the next attempt: healthy replicas first,
+// excluding the one that just failed whenever an alternative exists, and
+// degrading to "anyone" rather than refusing to route — a wrongly-drained
+// fleet self-heals through in-band successes.
+func (g *Gateway) pick(exclude int) int {
+	var healthy, all []int
+	for i, r := range g.replicas {
+		if i == exclude {
+			continue
+		}
+		all = append(all, i)
+		if r.healthy.Load() {
+			healthy = append(healthy, i)
+		}
+	}
+	cands := healthy
+	if len(cands) == 0 {
+		cands = all
+	}
+	if len(cands) == 0 {
+		return exclude // single-replica fleet: no alternative exists
+	}
+	return g.bal.Pick(cands)
+}
+
+// runPoint routes one point: pick a replica, execute with the per-attempt
+// timeout, and on a retryable failure try again against a different
+// replica, up to the retry bound. It returns the replica that served the
+// point alongside the record.
+func (g *Gateway) runPoint(ctx context.Context, rr api.RunRequest) (metrics.Record, string, *api.Error) {
+	attempts := g.opt.Retries + 1
+	var lastErr *api.Error
+	last := -1
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			return metrics.Record{}, "", api.Errorf(api.CodeShuttingDown, "%v", err)
+		}
+		i := g.pick(last)
+		r := g.replicas[i]
+		r.routed.Add(1)
+		if a > 0 {
+			r.retried.Add(1)
+		}
+		r.inflight.Add(1)
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if g.opt.PointTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, g.opt.PointTimeout)
+		}
+		start := time.Now()
+		rs, err := r.client.Run(actx, rr)
+		lat := time.Since(start)
+		cancel()
+		r.inflight.Add(-1)
+		if err == nil {
+			g.bal.Observe(i, lat, true)
+			r.healthy.Store(true) // in-band recovery
+			g.points.Add(1)
+			return rs.Records[0], r.url, nil
+		}
+		ae := api.AsError(err)
+		g.bal.Observe(i, lat, false)
+		r.failed.Add(1)
+		if ae.Code == api.CodeUnavailable || ae.Code == api.CodeShuttingDown {
+			// Unreachable or draining: stop sending new points here until
+			// a probe (or an in-band success) revives it.
+			r.healthy.Store(false)
+		}
+		if !ae.Retryable {
+			// Deterministic failure: every replica would answer the same.
+			return metrics.Record{}, r.url, ae
+		}
+		lastErr = ae
+		last = i
+	}
+	return metrics.Record{}, "", lastErr
+}
+
+// Counters is a point-in-time snapshot of the gateway's operational
+// counters, keyed by replica URL.
+type Counters struct {
+	Routed   map[string]uint64
+	Retried  map[string]uint64
+	Failed   map[string]uint64
+	Inflight map[string]int64
+	Healthy  map[string]bool
+	Scores   map[string]float64
+
+	Points uint64 // points served across all requests
+	Sweeps uint64 // sweep requests accepted
+}
+
+// Counters snapshots the operational counters.
+func (g *Gateway) Counters() Counters {
+	c := Counters{
+		Routed:   make(map[string]uint64, len(g.replicas)),
+		Retried:  make(map[string]uint64, len(g.replicas)),
+		Failed:   make(map[string]uint64, len(g.replicas)),
+		Inflight: make(map[string]int64, len(g.replicas)),
+		Healthy:  make(map[string]bool, len(g.replicas)),
+		Scores:   make(map[string]float64, len(g.replicas)),
+		Points:   g.points.Load(),
+		Sweeps:   g.sweeps.Load(),
+	}
+	scores := g.bal.Scores()
+	for i, r := range g.replicas {
+		c.Routed[r.url] = r.routed.Load()
+		c.Retried[r.url] = r.retried.Load()
+		c.Failed[r.url] = r.failed.Load()
+		c.Inflight[r.url] = r.inflight.Load()
+		c.Healthy[r.url] = r.healthy.Load()
+		if scores != nil {
+			c.Scores[r.url] = scores[i]
+		} else {
+			c.Scores[r.url] = 1
+		}
+	}
+	return c
+}
+
+// PromMetrics renders the gateway counters as Prometheus metric families
+// for the /metrics endpoint.
+func (g *Gateway) PromMetrics() []metrics.PromMetric {
+	c := g.Counters()
+	healthy := make(map[string]float64, len(c.Healthy))
+	for u, h := range c.Healthy {
+		if h {
+			healthy[u] = 1
+		} else {
+			healthy[u] = 0
+		}
+	}
+	inflight := make(map[string]float64, len(c.Inflight))
+	for u, n := range c.Inflight {
+		inflight[u] = float64(n)
+	}
+	return []metrics.PromMetric{
+		metrics.PromSingle("swarmgate_points_total", "Points served across all requests.", "counter", float64(c.Points)),
+		metrics.PromSingle("swarmgate_sweeps_total", "Sweep requests accepted.", "counter", float64(c.Sweeps)),
+		metrics.PromPerLabel("swarmgate_replica_routed_total", "Attempts routed to each replica (retries included).", "replica", c.Routed),
+		metrics.PromPerLabel("swarmgate_replica_retried_total", "Retry attempts routed to each replica after a failure elsewhere.", "replica", c.Retried),
+		metrics.PromPerLabel("swarmgate_replica_failed_total", "Attempts that failed on each replica.", "replica", c.Failed),
+		metrics.PromPerLabelGauge("swarmgate_replica_score", "Balancer desirability score per replica (adaptive: pheromone level).", "replica", c.Scores),
+		metrics.PromPerLabelGauge("swarmgate_replica_healthy", "Replica health (1 = in the candidate set).", "replica", healthy),
+		metrics.PromPerLabelGauge("swarmgate_replica_inflight", "Attempts in flight per replica.", "replica", inflight),
+	}
+}

@@ -1,0 +1,367 @@
+package gate
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+
+	"swarmhints/internal/bench"
+	"swarmhints/internal/cliutil"
+	"swarmhints/internal/exp"
+	"swarmhints/internal/metrics"
+	"swarmhints/internal/service"
+	"swarmhints/swarm/api"
+)
+
+// The gateway serves the same /v1 surface as a single swarmd, on the same
+// swarm/api contract. Requests are validated with the exact parse logic
+// the replicas use (service.ParseRun/ParseSweep), so the gateway never
+// forwards a point a replica would reject, and validation errors carry
+// the same envelope codes a replica would return.
+
+// Handler returns the gateway's HTTP API.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", g.handleRun)
+	mux.HandleFunc("POST /v1/sweep", g.handleSweep)
+	mux.HandleFunc("GET /v1/experiments", g.handleExperimentList)
+	mux.HandleFunc("POST /v1/experiments/{id}", g.handleExperiment)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	return mux
+}
+
+// pointRequest builds the canonical per-point /v1/run request: scale and
+// seed resolved and explicit, the scheduler in its parseable spelling.
+func pointRequest(p exp.Point, scale bench.Scale, seed int64) api.RunRequest {
+	return api.Point{
+		Bench: p.Name, Sched: cliutil.SchedFlag(p.Kind),
+		Cores: p.Cores, Profile: p.Profile,
+	}.Run(scale.String(), seed)
+}
+
+// handleRun serves POST /v1/run by routing the point to one replica. The
+// response is the replica's single-record result set re-encoded — byte
+// identical, since both ends marshal the same metrics.ResultSet shape.
+func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req api.RunRequest
+	if aerr := api.DecodeRequest(w, r, &req); aerr != nil {
+		api.WriteError(w, aerr)
+		return
+	}
+	cfg, aerr := service.ParseRun(req)
+	if aerr != nil {
+		api.WriteError(w, aerr)
+		return
+	}
+	rec, url, aerr := g.runPoint(r.Context(), pointRequest(cfg.Point, cfg.Scale, cfg.Seed))
+	if aerr != nil {
+		api.WriteError(w, aerr)
+		return
+	}
+	rs := metrics.ResultSet{Schema: metrics.SchemaVersion, Fields: exp.ExportFields,
+		Records: []metrics.Record{rec}}
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		api.WriteError(w, api.Errorf(api.CodeInternal, "%v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Swarmgate-Replica", url)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleSweep serves POST /v1/sweep: the grid is decomposed into points,
+// each point routed to a balancer-chosen replica, and the responses are
+// reassembled in canonical configuration order — the same order, framing,
+// and bytes a single swarmd would emit.
+func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	if aerr := api.DecodeRequest(w, r, &req); aerr != nil {
+		api.WriteError(w, aerr)
+		return
+	}
+	points, scale, seed, aerr := service.ParseSweep(req)
+	if aerr != nil {
+		api.WriteError(w, aerr)
+		return
+	}
+	format := req.Format
+	if format == "" {
+		format = "ndjson"
+	}
+	rrs := make([]api.RunRequest, len(points))
+	for i, p := range points {
+		rrs[i] = pointRequest(p, scale, seed)
+	}
+	g.sweeps.Add(1)
+
+	switch format {
+	case "ndjson":
+		g.streamSweep(w, r.Context(), rrs)
+	case "json", "csv":
+		recs, aerr := g.runAllPoints(r.Context(), rrs)
+		if aerr != nil {
+			api.WriteError(w, aerr)
+			return
+		}
+		rs := metrics.ResultSet{Schema: metrics.SchemaVersion, Fields: exp.ExportFields, Records: recs}
+		g.writeResultSet(w, &rs, format)
+	default:
+		api.WriteError(w, api.UnknownFormat(format, api.SweepFormats))
+	}
+}
+
+// writeResultSet encodes a reassembled result set in a buffered format.
+func (g *Gateway) writeResultSet(w http.ResponseWriter, rs *metrics.ResultSet, format string) {
+	var buf bytes.Buffer
+	var contentType string
+	var err error
+	switch format {
+	case "json":
+		contentType = "application/json"
+		err = rs.WriteJSON(&buf)
+	case "csv":
+		contentType = "text/csv"
+		err = rs.WriteCSV(&buf)
+	default:
+		api.WriteError(w, api.UnknownFormat(format, api.SweepFormats))
+		return
+	}
+	if err != nil {
+		api.WriteError(w, api.Errorf(api.CodeInternal, "%v", err))
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// runAllPoints routes every point across the fleet with bounded
+// concurrency and returns the records in point order. The first
+// non-retryable failure cancels the remaining points and is reported;
+// cancellation ripples are suppressed in its favor.
+func (g *Gateway) runAllPoints(ctx context.Context, rrs []api.RunRequest) ([]metrics.Record, *api.Error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	recs := make([]metrics.Record, len(rrs))
+	errs := make([]*api.Error, len(rrs))
+	sem := make(chan struct{}, g.opt.Concurrency)
+	var wg sync.WaitGroup
+	for i := range rrs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = api.Errorf(api.CodeShuttingDown, "%v", ctx.Err())
+				return
+			}
+			defer func() { <-sem }()
+			rec, _, aerr := g.runPoint(ctx, rrs[i])
+			if aerr != nil {
+				errs[i] = aerr
+				cancel()
+				return
+			}
+			recs[i] = rec
+		}()
+	}
+	wg.Wait()
+	var first *api.Error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		// Prefer the root-cause failure over cancellation ripples.
+		if first == nil || (first.Code == api.CodeShuttingDown && e.Code != api.CodeShuttingDown) {
+			first = e
+		}
+	}
+	if first != nil {
+		return nil, first
+	}
+	return recs, nil
+}
+
+// streamSweep emits the sweep as NDJSON in the api framing, routing
+// points across the fleet with bounded concurrency and writing record i
+// as soon as records 0..i have all completed — the same prefix-order
+// streaming a single swarmd performs, so the stream bytes are identical.
+// A point that fails after its retries truncates the stream (no trailer),
+// exactly as a single swarmd's mid-grid failure would.
+func (g *Gateway) streamSweep(w http.ResponseWriter, ctx context.Context, rrs []api.RunRequest) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	header, err := api.EncodeHeader(api.StreamHeader{
+		Schema: metrics.SchemaVersion, Fields: exp.ExportFields, Points: len(rrs),
+	})
+	if err != nil {
+		api.WriteError(w, api.Errorf(api.CodeInternal, "%v", err))
+		return
+	}
+	if _, err := w.Write(header); err != nil {
+		return
+	}
+	flush := func() {}
+	if f, ok := w.(http.Flusher); ok {
+		flush = f.Flush
+	}
+	flush()
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var mu sync.Mutex // guards next, lines, streamErr, and writes to w
+	next := 0
+	lines := make(map[int][]byte, len(rrs))
+	var streamErr error
+	sem := make(chan struct{}, g.opt.Concurrency)
+	var wg sync.WaitGroup
+	for i := range rrs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			defer func() { <-sem }()
+			rec, _, aerr := g.runPoint(ctx, rrs[i])
+			mu.Lock()
+			defer mu.Unlock()
+			if streamErr != nil {
+				return
+			}
+			if aerr != nil {
+				streamErr = aerr
+				cancel()
+				return
+			}
+			line, err := api.EncodeRecord(rec)
+			if err != nil {
+				streamErr = err
+				cancel()
+				return
+			}
+			lines[i] = line
+			for next < len(rrs) && lines[next] != nil {
+				if _, err := w.Write(lines[next]); err != nil {
+					streamErr = err
+					cancel()
+					return
+				}
+				delete(lines, next)
+				next++
+			}
+			flush()
+		}()
+	}
+	wg.Wait()
+	if streamErr != nil {
+		log.Printf("swarmgate: sweep stream aborted: %v", streamErr)
+		return
+	}
+	if trailer, err := api.EncodeTrailer(len(rrs)); err == nil {
+		_, _ = w.Write(trailer)
+		flush()
+	}
+}
+
+// handleExperimentList proxies GET /v1/experiments from a replica and
+// re-encodes it — the listing is identical on every replica.
+func (g *Gateway) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	attempts := g.opt.Retries + 1
+	var lastErr *api.Error
+	last := -1
+	for a := 0; a < attempts; a++ {
+		i := g.pick(last)
+		rep := g.replicas[i]
+		list, err := rep.client.Experiments(r.Context())
+		if err == nil {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(list)
+			return
+		}
+		lastErr = api.AsError(err)
+		if lastErr.Code == api.CodeUnavailable || lastErr.Code == api.CodeShuttingDown {
+			rep.healthy.Store(false)
+		}
+		if !lastErr.Retryable {
+			break
+		}
+		last = i
+	}
+	api.WriteError(w, lastErr)
+}
+
+// handleExperiment proxies POST /v1/experiments/{id} to one replica — an
+// experiment is a single unit of work (its points still hit the shared
+// store, so fleet-wide reuse holds). Retryable failures re-route to a
+// different replica like any point.
+func (g *Gateway) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req api.ExperimentRequest
+	if aerr := api.DecodeRequest(w, r, &req); aerr != nil {
+		api.WriteError(w, aerr)
+		return
+	}
+	attempts := g.opt.Retries + 1
+	var lastErr *api.Error
+	last := -1
+	for a := 0; a < attempts; a++ {
+		if err := r.Context().Err(); err != nil {
+			api.WriteError(w, api.Errorf(api.CodeShuttingDown, "%v", err))
+			return
+		}
+		i := g.pick(last)
+		rep := g.replicas[i]
+		body, contentType, err := rep.client.Experiment(r.Context(), id, req)
+		if err == nil {
+			w.Header().Set("Content-Type", contentType)
+			w.Header().Set("X-Swarmgate-Replica", rep.url)
+			_, _ = io.Copy(w, body)
+			body.Close()
+			return
+		}
+		lastErr = api.AsError(err)
+		if lastErr.Code == api.CodeUnavailable || lastErr.Code == api.CodeShuttingDown {
+			rep.healthy.Store(false)
+		}
+		if !lastErr.Retryable {
+			break
+		}
+		last = i
+	}
+	api.WriteError(w, lastErr)
+}
+
+// handleHealthz reports the gateway's own liveness plus the per-replica
+// health flags (keys sorted by URL, so the body is deterministic).
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	c := g.Counters()
+	body := struct {
+		Status   string          `json:"status"`
+		Replicas map[string]bool `json:"replicas"`
+	}{Status: "ok", Replicas: c.Healthy}
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.Marshal(body)
+	if err != nil {
+		api.WriteError(w, api.Errorf(api.CodeInternal, "%v", err))
+		return
+	}
+	_, _ = w.Write(append(b, '\n'))
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = metrics.WriteProm(w, g.PromMetrics())
+}

@@ -47,6 +47,17 @@ func PromPerLabel(name, help, label string, m map[string]uint64) PromMetric {
 	return pm
 }
 
+// PromPerLabelGauge builds a gauge family with one series per map entry,
+// labeled label=key — the shape of per-replica score and health gauges.
+func PromPerLabelGauge(name, help, label string, m map[string]float64) PromMetric {
+	pm := PromMetric{Name: name, Help: help, Type: "gauge"}
+	for k, v := range m {
+		pm.Values = append(pm.Values, PromValue{
+			Labels: map[string]string{label: k}, Value: v})
+	}
+	return pm
+}
+
 // labelEscaper escapes label values per the exposition format.
 var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 

@@ -1,10 +1,9 @@
 package service
 
 import (
-	"bufio"
 	"bytes"
 	"context"
-	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -20,6 +19,7 @@ import (
 	"swarmhints/internal/metrics"
 	"swarmhints/internal/store"
 	"swarmhints/swarm"
+	"swarmhints/swarm/api"
 )
 
 // fig2SweepBody is the sweep request covering exactly the grid the fig2
@@ -106,26 +106,19 @@ func TestSweepJSONMatchesGoldenExport(t *testing.T) {
 	}
 }
 
-// TestSweepNDJSONReassemblesToGolden checks the streaming format: lines
-// arrive in canonical configuration order, and reassembling them into a
-// ResultSet reproduces the golden export byte for byte.
+// TestSweepNDJSONReassemblesToGolden checks the streaming format: the
+// header announces the grid, records arrive in canonical configuration
+// order, the stream ends with the completion trailer, and reassembling
+// the records into a ResultSet reproduces the golden export byte for byte.
 func TestSweepNDJSONReassemblesToGolden(t *testing.T) {
 	_, ts := startServer(t, Options{Workers: 4, Validate: true})
 	raw := postSweep(t, ts.URL, "ndjson")
 
-	sc := bufio.NewScanner(bytes.NewReader(raw))
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	if !sc.Scan() {
-		t.Fatal("empty NDJSON response")
+	dec, err := api.NewStreamDecoder(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("bad stream header: %v", err)
 	}
-	var header struct {
-		Schema string   `json:"schema"`
-		Fields []string `json:"fields"`
-		Points int      `json:"points"`
-	}
-	if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
-		t.Fatalf("bad header line: %v", err)
-	}
+	header := dec.Header()
 	if header.Schema != metrics.SchemaVersion {
 		t.Fatalf("header schema %q, want %q", header.Schema, metrics.SchemaVersion)
 	}
@@ -133,18 +126,41 @@ func TestSweepNDJSONReassemblesToGolden(t *testing.T) {
 		t.Fatalf("header announces %d points, want 8 (truncation detection)", header.Points)
 	}
 	rs := metrics.ResultSet{Schema: header.Schema, Fields: header.Fields}
-	for sc.Scan() {
-		var rec metrics.Record
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			t.Fatalf("bad record line: %v", err)
+	for {
+		rec, ok, err := dec.Next()
+		if err != nil {
+			t.Fatalf("stream decode: %v", err)
+		}
+		if !ok {
+			break
 		}
 		rs.Records = append(rs.Records, rec)
 	}
-	if err := sc.Err(); err != nil {
-		t.Fatal(err)
+	trailer := dec.Trailer()
+	if trailer == nil || !trailer.Complete || trailer.Points != 8 {
+		t.Fatalf("stream trailer = %+v, want complete with 8 points", trailer)
 	}
 	if len(rs.Records) != 8 {
 		t.Fatalf("stream carried %d records, want 8", len(rs.Records))
+	}
+
+	// A truncated stream (trailer cut off) must NOT decode cleanly.
+	cut := raw[:bytes.LastIndexByte(bytes.TrimRight(raw, "\n"), '\n')+1]
+	tdec, err := api.NewStreamDecoder(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatalf("bad truncated-stream header: %v", err)
+	}
+	for {
+		_, ok, err := tdec.Next()
+		if err != nil {
+			if !errors.Is(err, api.ErrTruncated) {
+				t.Fatalf("truncated stream error = %v, want ErrTruncated", err)
+			}
+			break
+		}
+		if !ok {
+			t.Fatal("truncated stream decoded as complete")
+		}
 	}
 	// Streamed order must be the canonical export order already.
 	for i := 1; i < len(rs.Records); i++ {

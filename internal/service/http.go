@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"log"
 	"net/http"
@@ -16,44 +15,14 @@ import (
 	"swarmhints/internal/metrics"
 	"swarmhints/internal/runner"
 	"swarmhints/swarm"
+	"swarmhints/swarm/api"
 )
 
-// maxBodyBytes bounds request bodies; sweep grids are tiny JSON documents.
-const maxBodyBytes = 1 << 20
-
-// RunRequest is the body of POST /v1/run: one simulation configuration.
-type RunRequest struct {
-	Bench   string `json:"bench"`
-	Sched   string `json:"sched"`
-	Cores   int    `json:"cores"`
-	Scale   string `json:"scale"` // tiny|small|full; default small
-	Seed    *int64 `json:"seed"`  // default 7 (the harness default)
-	Profile bool   `json:"profile"`
-}
-
-// SweepRequest is the body of POST /v1/sweep: a configuration grid
-// (benches × scheds × cores), executed under one (scale, seed) harness.
-type SweepRequest struct {
-	Benches []string `json:"benches"`
-	Scheds  []string `json:"scheds"`
-	Cores   []int    `json:"cores"`
-	Scale   string   `json:"scale"`
-	Seed    *int64   `json:"seed"`
-	Profile bool     `json:"profile"`
-	// Format selects the response encoding: "ndjson" (default) streams one
-	// record per line in canonical configuration order as results complete;
-	// "json" and "csv" buffer the full result set and emit exactly the
-	// bytes cmd/experiments -format json|csv would for the same grid.
-	Format string `json:"format"`
-}
-
-// ExperimentRequest is the body of POST /v1/experiments/{id}.
-type ExperimentRequest struct {
-	Scale  string `json:"scale"`
-	Seed   *int64 `json:"seed"`
-	Cores  []int  `json:"cores"`  // core sweep override; default per scale
-	Format string `json:"format"` // json (default) | csv | ndjson | text
-}
+// The handlers speak the typed wire contract in swarm/api: request bodies
+// decode into api structs, every error response is the structured envelope
+// {"error":{"code","message","retryable"}} written by api.WriteError (no
+// plain-text http.Error bodies on /v1 endpoints), and NDJSON streams carry
+// the api framing — header, records, completion trailer.
 
 // Handler returns the service's HTTP API.
 func (s *Service) Handler() http.Handler {
@@ -67,40 +36,29 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
-// decodeBody decodes a JSON request body into v, rejecting unknown fields
-// so typos in configuration keys fail loudly instead of running defaults.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("bad request body: %w", err)
-	}
-	return nil
-}
-
 // checkCores rejects core counts the simulated machine cannot be built
 // with: sim.Config.WithCores silently rounds up to the next 1-or-k²·c mesh,
 // which would cache results under a mislabeled configuration key.
-func checkCores(cores []int) error {
+func checkCores(cores []int) *api.Error {
 	for _, c := range cores {
 		if c < 1 {
-			return fmt.Errorf("cores must be >= 1, got %d", c)
+			return api.Errorf(api.CodeBadCores, "cores must be >= 1, got %d", c)
 		}
 		if got := swarm.ScaledConfig().WithCores(c).Cores(); got != c {
-			return fmt.Errorf("cores must be 1 or fill a square mesh (nearest is %d), got %d", got, c)
+			return api.Errorf(api.CodeBadCores, "cores must be 1 or fill a square mesh (nearest is %d), got %d", got, c)
 		}
 	}
 	return nil
 }
 
 // parseHarness resolves the shared (scale, seed) harness fields.
-func parseHarness(scaleName string, seed *int64) (bench.Scale, int64, error) {
+func parseHarness(scaleName string, seed *int64) (bench.Scale, int64, *api.Error) {
 	if scaleName == "" {
 		scaleName = "small"
 	}
 	scale, err := cliutil.ParseScale(scaleName)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, api.Errorf(api.CodeUnknownScale, "%v", err)
 	}
 	s := int64(7)
 	if seed != nil {
@@ -109,52 +67,57 @@ func parseHarness(scaleName string, seed *int64) (bench.Scale, int64, error) {
 	return scale, s, nil
 }
 
-// parsePoint resolves one run request into a configuration.
-func (req RunRequest) parse() (Config, error) {
-	scale, seed, err := parseHarness(req.Scale, req.Seed)
-	if err != nil {
-		return Config{}, err
+// ParseRun resolves one run request into a fully specified configuration.
+// Exported because the gateway (internal/gate) validates with exactly this
+// logic, so a request it accepts is one every replica accepts.
+func ParseRun(req api.RunRequest) (Config, *api.Error) {
+	scale, seed, aerr := parseHarness(req.Scale, req.Seed)
+	if aerr != nil {
+		return Config{}, aerr
 	}
 	if _, ok := bench.Registry[req.Bench]; !ok {
-		return Config{}, fmt.Errorf("unknown benchmark %q", req.Bench)
+		return Config{}, api.Errorf(api.CodeUnknownBench, "unknown benchmark %q", req.Bench)
 	}
 	kind, err := cliutil.ParseSched(req.Sched)
 	if err != nil {
-		return Config{}, err
+		return Config{}, api.Errorf(api.CodeUnknownSched, "%v", err)
 	}
-	if err := checkCores([]int{req.Cores}); err != nil {
-		return Config{}, err
+	if aerr := checkCores([]int{req.Cores}); aerr != nil {
+		return Config{}, aerr
 	}
 	return Config{Scale: scale, Seed: seed, Point: exp.Point{
 		Name: req.Bench, Kind: kind, Cores: req.Cores, Profile: req.Profile,
 	}}, nil
 }
 
-// parseGrid resolves a sweep request into its deduplicated, canonically
-// ordered configuration points plus the harness fields.
-func (req SweepRequest) parse() ([]exp.Point, bench.Scale, int64, error) {
-	scale, seed, err := parseHarness(req.Scale, req.Seed)
-	if err != nil {
-		return nil, 0, 0, err
+// ParseSweep resolves a sweep request into its deduplicated, canonically
+// ordered configuration points plus the harness fields. Exported for the
+// gateway, which decomposes the grid point-by-point across a replica fleet
+// and must enumerate exactly the points — in exactly the order — a single
+// swarmd would.
+func ParseSweep(req api.SweepRequest) ([]exp.Point, bench.Scale, int64, *api.Error) {
+	scale, seed, aerr := parseHarness(req.Scale, req.Seed)
+	if aerr != nil {
+		return nil, 0, 0, aerr
 	}
 	if len(req.Benches) == 0 || len(req.Scheds) == 0 || len(req.Cores) == 0 {
-		return nil, 0, 0, errors.New("benches, scheds, and cores must each list at least one value")
+		return nil, 0, 0, api.Errorf(api.CodeBadRequest, "benches, scheds, and cores must each list at least one value")
 	}
 	for _, b := range req.Benches {
 		if _, ok := bench.Registry[b]; !ok {
-			return nil, 0, 0, fmt.Errorf("unknown benchmark %q", b)
+			return nil, 0, 0, api.Errorf(api.CodeUnknownBench, "unknown benchmark %q", b)
 		}
 	}
 	var kinds []swarm.SchedKind
 	for _, sc := range req.Scheds {
 		k, err := cliutil.ParseSched(sc)
 		if err != nil {
-			return nil, 0, 0, err
+			return nil, 0, 0, api.Errorf(api.CodeUnknownSched, "%v", err)
 		}
 		kinds = append(kinds, k)
 	}
-	if err := checkCores(req.Cores); err != nil {
-		return nil, 0, 0, err
+	if aerr := checkCores(req.Cores); aerr != nil {
+		return nil, 0, 0, aerr
 	}
 	points := exp.DedupSorted(exp.Grid(req.Benches, kinds, req.Cores, req.Profile))
 	return points, scale, seed, nil
@@ -164,26 +127,26 @@ func (req SweepRequest) parse() ([]exp.Point, bench.Scale, int64, error) {
 // cache when warm. The response is a single-record result set encoded
 // exactly as the CLI export encodes it.
 func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
-	var req RunRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	var req api.RunRequest
+	if aerr := api.DecodeRequest(w, r, &req); aerr != nil {
+		api.WriteError(w, aerr)
 		return
 	}
-	cfg, err := req.parse()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	cfg, aerr := ParseRun(req)
+	if aerr != nil {
+		api.WriteError(w, aerr)
 		return
 	}
 	st, src, err := s.Stats(r.Context(), cfg)
 	if err != nil {
-		httpRunError(w, err)
+		api.WriteError(w, runError(err))
 		return
 	}
 	rs := exp.ExportSet([]exp.Point{cfg.Point}, cfg.Scale, cfg.Seed,
 		func(exp.Point) *swarm.Stats { return st })
 	var buf bytes.Buffer
 	if err := rs.WriteJSON(&buf); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		api.WriteError(w, api.Errorf(api.CodeInternal, "%v", err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -196,14 +159,14 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 // i is written as soon as records 0..i have all completed, so output order
 // is deterministic for any worker count even though completion order is not.
 func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req SweepRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	var req api.SweepRequest
+	if aerr := api.DecodeRequest(w, r, &req); aerr != nil {
+		api.WriteError(w, aerr)
 		return
 	}
-	points, scale, seed, err := req.parse()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	points, scale, seed, aerr := ParseSweep(req)
+	if aerr != nil {
+		api.WriteError(w, aerr)
 		return
 	}
 	format := req.Format
@@ -217,13 +180,13 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	case "json", "csv":
 		stats, err := s.runAll(r.Context(), points, scale, seed)
 		if err != nil {
-			httpRunError(w, err)
+			api.WriteError(w, runError(err))
 			return
 		}
 		rs := exp.ExportSet(points, scale, seed, func(p exp.Point) *swarm.Stats { return stats[p.Key()] })
-		writeResultSet(w, rs, format)
+		writeResultSet(w, rs, format, api.SweepFormats)
 	default:
-		http.Error(w, fmt.Sprintf("unknown format %q (have ndjson, json, csv)", format), http.StatusBadRequest)
+		api.WriteError(w, api.UnknownFormat(format, api.SweepFormats))
 	}
 }
 
@@ -271,15 +234,19 @@ func (s *Service) runAll(ctx context.Context, points []exp.Point, scale bench.Sc
 	return stats, nil
 }
 
-// streamSweep emits the sweep as NDJSON: a header line carrying the schema
-// and label fields, then one compact record per line in canonical
-// configuration order. Reassembling the lines into a ResultSet and encoding
-// it as indented JSON reproduces the buffered "json" response byte for byte.
+// streamSweep emits the sweep as NDJSON in the api framing: a header line
+// carrying the schema and label fields, one compact record per line in
+// canonical configuration order, and — only when every point streamed —
+// the completion trailer. Reassembling the record lines into a ResultSet
+// and encoding it as indented JSON reproduces the buffered "json" response
+// byte for byte.
 func (s *Service) streamSweep(w http.ResponseWriter, ctx context.Context, points []exp.Point, scale bench.Scale, seed int64) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	header, err := ndjsonHeader(metrics.SchemaVersion, exp.ExportFields, len(points))
+	header, err := api.EncodeHeader(api.StreamHeader{
+		Schema: metrics.SchemaVersion, Fields: exp.ExportFields, Points: len(points),
+	})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		api.WriteError(w, api.Errorf(api.CodeInternal, "%v", err))
 		return
 	}
 	if _, err := w.Write(header); err != nil {
@@ -293,7 +260,7 @@ func (s *Service) streamSweep(w http.ResponseWriter, ctx context.Context, points
 
 	// The first failure cancels the rest of the grid: an NDJSON stream has
 	// no way to signal an error retroactively, so it is truncated instead —
-	// a complete response always has exactly 1+len(points) lines.
+	// a complete response always ends with the trailer line.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -325,7 +292,7 @@ func (s *Service) streamSweep(w http.ResponseWriter, ctx context.Context, points
 				return
 			}
 			p := points[res.Index]
-			line, err := json.Marshal(metrics.Record{
+			line, err := api.EncodeRecord(metrics.Record{
 				Labels:   exp.PointLabels(p, scale, seed),
 				Snapshot: res.Stats.Snapshot(),
 			})
@@ -334,7 +301,7 @@ func (s *Service) streamSweep(w http.ResponseWriter, ctx context.Context, points
 				cancel()
 				return
 			}
-			lines[res.Index] = append(line, '\n')
+			lines[res.Index] = line
 			for next < len(points) && lines[next] != nil {
 				if _, err := w.Write(lines[next]); err != nil {
 					streamErr = err
@@ -352,19 +319,20 @@ func (s *Service) streamSweep(w http.ResponseWriter, ctx context.Context, points
 	}
 	if streamErr != nil {
 		log.Printf("swarmd: sweep stream aborted: %v", streamErr)
+		return
+	}
+	if trailer, err := api.EncodeTrailer(len(points)); err == nil {
+		_, _ = w.Write(trailer)
+		flush()
 	}
 }
 
 // handleExperimentList serves GET /v1/experiments: the paper's experiment
 // registry, in paper order.
 func (s *Service) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
-	type entry struct {
-		ID    string `json:"id"`
-		Title string `json:"title"`
-	}
-	list := make([]entry, 0, len(exp.Registry))
+	list := make([]api.ExperimentInfo, 0, len(exp.Registry))
 	for _, e := range exp.Registry {
-		list = append(list, entry{e.ID, e.Title})
+		list = append(list, api.ExperimentInfo{ID: e.ID, Title: e.Title})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -380,17 +348,17 @@ func (s *Service) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
 func (s *Service) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	e, err := exp.Find(r.PathValue("id"))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		api.WriteError(w, api.Errorf(api.CodeUnknownExperiment, "%v", err))
 		return
 	}
-	var req ExperimentRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	var req api.ExperimentRequest
+	if aerr := api.DecodeRequest(w, r, &req); aerr != nil {
+		api.WriteError(w, aerr)
 		return
 	}
-	scale, seed, err := parseHarness(req.Scale, req.Seed)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	scale, seed, aerr := parseHarness(req.Scale, req.Seed)
+	if aerr != nil {
+		api.WriteError(w, aerr)
 		return
 	}
 	format := req.Format
@@ -401,7 +369,7 @@ func (s *Service) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	case "json", "csv", "ndjson", "text":
 	default:
 		// Reject up front: an experiment at full scale is minutes of work.
-		http.Error(w, fmt.Sprintf("unknown format %q (have json, csv, ndjson, text)", format), http.StatusBadRequest)
+		api.WriteError(w, api.UnknownFormat(format, api.ExperimentFormats))
 		return
 	}
 	opt := exp.DefaultOptions(scale)
@@ -411,8 +379,8 @@ func (s *Service) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	opt.Exec = s.Exec(scale, seed)
 	opt.Gate = s.AcquireSlot
 	if len(req.Cores) > 0 {
-		if err := checkCores(req.Cores); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if aerr := checkCores(req.Cores); aerr != nil {
+			api.WriteError(w, aerr)
 			return
 		}
 		opt.Cores = req.Cores
@@ -425,7 +393,7 @@ func (s *Service) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		tableOut = io.Discard
 	}
 	if err := e.Run(r.Context(), runner, tableOut); err != nil {
-		httpRunError(w, err)
+		api.WriteError(w, runError(err))
 		return
 	}
 	s.countExperiment(e.ID)
@@ -434,7 +402,7 @@ func (s *Service) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write(tables.Bytes())
 		return
 	}
-	writeResultSet(w, runner.Export(), format)
+	writeResultSet(w, runner.Export(), format, api.ExperimentFormats)
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -448,7 +416,9 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 // writeResultSet encodes a completed result set in the requested format.
-func writeResultSet(w http.ResponseWriter, rs *metrics.ResultSet, format string) {
+// have is the calling endpoint's supported-format list, so an unsupported
+// format is rejected with the formats that endpoint actually offers.
+func writeResultSet(w http.ResponseWriter, rs *metrics.ResultSet, format string, have []string) {
 	var buf bytes.Buffer
 	var contentType string
 	var err error
@@ -463,38 +433,23 @@ func writeResultSet(w http.ResponseWriter, rs *metrics.ResultSet, format string)
 		contentType = "application/x-ndjson"
 		err = writeNDJSON(&buf, rs)
 	default:
-		http.Error(w, fmt.Sprintf("unknown format %q (have json, csv, ndjson)", format), http.StatusBadRequest)
+		api.WriteError(w, api.UnknownFormat(format, have))
 		return
 	}
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		api.WriteError(w, api.Errorf(api.CodeInternal, "%v", err))
 		return
 	}
 	w.Header().Set("Content-Type", contentType)
 	_, _ = w.Write(buf.Bytes())
 }
 
-// ndjsonHeader encodes the NDJSON framing's first line (newline included):
-// the schema version, the label-field order every record line follows, and
-// the number of record lines a complete response carries — a stream with
-// fewer lines was truncated by a mid-grid failure, which a 200-then-stream
-// response cannot signal any other way.
-func ndjsonHeader(schema string, fields []string, points int) ([]byte, error) {
-	header, err := json.Marshal(struct {
-		Schema string   `json:"schema"`
-		Fields []string `json:"fields"`
-		Points int      `json:"points"`
-	}{schema, fields, points})
-	if err != nil {
-		return nil, err
-	}
-	return append(header, '\n'), nil
-}
-
-// writeNDJSON encodes a result set in the sweep endpoint's NDJSON framing:
-// header line, then one compact record per line.
+// writeNDJSON encodes a completed result set in the api NDJSON framing:
+// header line, one compact record per line, completion trailer.
 func writeNDJSON(w io.Writer, rs *metrics.ResultSet) error {
-	header, err := ndjsonHeader(rs.Schema, rs.Fields, len(rs.Records))
+	header, err := api.EncodeHeader(api.StreamHeader{
+		Schema: rs.Schema, Fields: rs.Fields, Points: len(rs.Records),
+	})
 	if err != nil {
 		return err
 	}
@@ -502,23 +457,29 @@ func writeNDJSON(w io.Writer, rs *metrics.ResultSet) error {
 		return err
 	}
 	for _, rec := range rs.Records {
-		line, err := json.Marshal(rec)
+		line, err := api.EncodeRecord(rec)
 		if err != nil {
 			return err
 		}
-		if _, err := w.Write(append(line, '\n')); err != nil {
+		if _, err := w.Write(line); err != nil {
 			return err
 		}
 	}
-	return nil
+	trailer, err := api.EncodeTrailer(len(rs.Records))
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(trailer)
+	return err
 }
 
-// httpRunError maps an execution failure to a status code: cancellations
-// surface as 499-style client aborts, everything else is a 500.
-func httpRunError(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
+// runError maps an execution failure to its wire error: cancellations and
+// deadline hits mean this instance is draining or gave up — retryable
+// against another replica — while everything else is a deterministic
+// failure a retry would reproduce.
+func runError(err error) *api.Error {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		code = http.StatusServiceUnavailable
+		return api.Errorf(api.CodeShuttingDown, "%v", err)
 	}
-	http.Error(w, err.Error(), code)
+	return api.Errorf(api.CodeInternal, "%v", err)
 }

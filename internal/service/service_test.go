@@ -16,6 +16,7 @@ import (
 	"swarmhints/internal/bench"
 	"swarmhints/internal/exp"
 	"swarmhints/swarm"
+	"swarmhints/swarm/api"
 )
 
 // tinyConfig is the cheap configuration the unit tests hammer.
@@ -281,26 +282,37 @@ func TestFlightAbandonedByAllCallersAborts(t *testing.T) {
 }
 
 func TestSweepRequestParseValidation(t *testing.T) {
-	bad := []SweepRequest{
-		{},
-		{Benches: []string{"des"}, Scheds: []string{"hints"}},
-		{Benches: []string{"no-such"}, Scheds: []string{"hints"}, Cores: []int{1}},
-		{Benches: []string{"des"}, Scheds: []string{"warp-speed"}, Cores: []int{1}},
-		{Benches: []string{"des"}, Scheds: []string{"hints"}, Cores: []int{0}},
-		{Benches: []string{"des"}, Scheds: []string{"hints"}, Cores: []int{1}, Scale: "giant"},
+	bad := []struct {
+		req  api.SweepRequest
+		code api.Code
+	}{
+		{api.SweepRequest{}, api.CodeBadRequest},
+		{api.SweepRequest{Benches: []string{"des"}, Scheds: []string{"hints"}}, api.CodeBadRequest},
+		{api.SweepRequest{Benches: []string{"no-such"}, Scheds: []string{"hints"}, Cores: []int{1}}, api.CodeUnknownBench},
+		{api.SweepRequest{Benches: []string{"des"}, Scheds: []string{"warp-speed"}, Cores: []int{1}}, api.CodeUnknownSched},
+		{api.SweepRequest{Benches: []string{"des"}, Scheds: []string{"hints"}, Cores: []int{0}}, api.CodeBadCores},
+		{api.SweepRequest{Benches: []string{"des"}, Scheds: []string{"hints"}, Cores: []int{1}, Scale: "giant"}, api.CodeUnknownScale},
 	}
-	for i, req := range bad {
-		if _, _, _, err := req.parse(); err == nil {
-			t.Errorf("bad request %d parsed cleanly: %+v", i, req)
+	for i, tc := range bad {
+		_, _, _, aerr := ParseSweep(tc.req)
+		if aerr == nil {
+			t.Errorf("bad request %d parsed cleanly: %+v", i, tc.req)
+			continue
+		}
+		if aerr.Code != tc.code {
+			t.Errorf("bad request %d: code = %q, want %q (message %q)", i, aerr.Code, tc.code, aerr.Message)
+		}
+		if aerr.Retryable {
+			t.Errorf("bad request %d: validation error marked retryable", i)
 		}
 	}
-	req := SweepRequest{
+	req := api.SweepRequest{
 		Benches: []string{"des", "des"}, // duplicates collapse
 		Scheds:  []string{"random", "hints"},
 		Cores:   []int{4, 1},
 		Scale:   "tiny",
 	}
-	points, scale, seed, err := req.parse()
+	points, scale, seed, err := ParseSweep(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,9 +379,115 @@ func TestRunRequestRejectsUnknownFields(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("typoed field accepted: status %d", resp.StatusCode)
+	}
+	aerr := decodeEnvelope(t, resp)
+	if aerr.Code != api.CodeBadRequest {
+		t.Fatalf("code = %q, want %q", aerr.Code, api.CodeBadRequest)
+	}
+}
+
+// decodeEnvelope asserts a response body is exactly the structured error
+// envelope {"error":{"code","message","retryable"}} — nothing else, no
+// plain-text http.Error fallback — and returns the decoded error.
+func decodeEnvelope(t *testing.T, resp *http.Response) *api.Error {
+	t.Helper()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Error *api.Error `json:"error"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil || env.Error == nil {
+		t.Fatalf("response is not the error envelope (err=%v): %q", err, body)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope missing code or message: %q", body)
+	}
+	if got, want := resp.StatusCode, env.Error.HTTPStatus(); got != want {
+		t.Fatalf("status %d does not match code %q (want %d)", got, env.Error.Code, want)
+	}
+	return env.Error
+}
+
+// TestErrorEnvelopeOnAllEndpoints pins the wire contract: every error
+// response on the /v1 surface is the structured envelope with a stable
+// code — no endpoint falls back to plain-text http.Error bodies.
+func TestErrorEnvelopeOnAllEndpoints(t *testing.T) {
+	svc := New(DefaultOptions())
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name      string
+		path      string
+		body      string
+		code      api.Code
+		status    int
+		retryable bool
+	}{
+		{"run/bad-json", "/v1/run", `{"bench":`, api.CodeBadRequest, 400, false},
+		{"run/unknown-bench", "/v1/run", `{"bench":"no-such","sched":"hints","cores":1,"scale":"tiny"}`, api.CodeUnknownBench, 400, false},
+		{"run/unknown-sched", "/v1/run", `{"bench":"des","sched":"warp","cores":1,"scale":"tiny"}`, api.CodeUnknownSched, 400, false},
+		{"run/unknown-scale", "/v1/run", `{"bench":"des","sched":"hints","cores":1,"scale":"giant"}`, api.CodeUnknownScale, 400, false},
+		{"run/bad-cores", "/v1/run", `{"bench":"des","sched":"hints","cores":3,"scale":"tiny"}`, api.CodeBadCores, 400, false},
+		{"sweep/empty-grid", "/v1/sweep", `{"benches":["des"],"scheds":[],"cores":[1],"scale":"tiny"}`, api.CodeBadRequest, 400, false},
+		{"sweep/unknown-format", "/v1/sweep", `{"benches":["des"],"scheds":["hints"],"cores":[1],"scale":"tiny","format":"xml"}`, api.CodeUnknownFormat, 400, false},
+		{"experiment/unknown-id", "/v1/experiments/fig99", `{}`, api.CodeUnknownExperiment, 404, false},
+		{"experiment/unknown-format", "/v1/experiments/fig2", `{"scale":"tiny","format":"yaml"}`, api.CodeUnknownFormat, 400, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.status)
+			}
+			aerr := decodeEnvelope(t, resp)
+			if aerr.Code != tc.code {
+				t.Fatalf("code = %q, want %q (message %q)", aerr.Code, tc.code, aerr.Message)
+			}
+			if aerr.Retryable != tc.retryable {
+				t.Fatalf("retryable = %v, want %v", aerr.Retryable, tc.retryable)
+			}
+		})
+	}
+}
+
+// TestUnknownFormatListsEndpointFormats checks the unified unknown-format
+// helper reports the formats each endpoint actually supports: /v1/sweep
+// has no "text", /v1/experiments/{id} does.
+func TestUnknownFormatListsEndpointFormats(t *testing.T) {
+	svc := New(DefaultOptions())
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	get := func(path, body string) string {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return decodeEnvelope(t, resp).Message
+	}
+	sweepMsg := get("/v1/sweep", `{"benches":["des"],"scheds":["hints"],"cores":[1],"scale":"tiny","format":"xml"}`)
+	if !strings.Contains(sweepMsg, "ndjson, json, csv") || strings.Contains(sweepMsg, "text") {
+		t.Errorf("sweep unknown-format message lists wrong formats: %q", sweepMsg)
+	}
+	expMsg := get("/v1/experiments/fig2", `{"scale":"tiny","format":"xml"}`)
+	if !strings.Contains(expMsg, "text") {
+		t.Errorf("experiment unknown-format message omits text: %q", expMsg)
 	}
 }
 

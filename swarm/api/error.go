@@ -1,0 +1,146 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Code is a stable, machine-readable error class. Codes are part of the
+// wire contract: a proxy routes and retries on the code (and the
+// Retryable flag), never on message text, so messages may change freely
+// while codes may only be added.
+type Code string
+
+// Error codes.
+const (
+	// CodeBadRequest: the request body is malformed or inconsistent
+	// (unparseable JSON, unknown fields, empty grid axes).
+	CodeBadRequest Code = "bad_request"
+	// CodeUnknownBench: a benchmark name is not in the registry.
+	CodeUnknownBench Code = "unknown_bench"
+	// CodeUnknownSched: a scheduler name is not recognized.
+	CodeUnknownSched Code = "unknown_sched"
+	// CodeUnknownScale: the scale is not tiny|small|full.
+	CodeUnknownScale Code = "unknown_scale"
+	// CodeUnknownFormat: the format is not supported by this endpoint;
+	// the message lists the formats that are.
+	CodeUnknownFormat Code = "unknown_format"
+	// CodeUnknownExperiment: the experiment id is not in the registry.
+	CodeUnknownExperiment Code = "unknown_experiment"
+	// CodeBadCores: a core count the simulated machine cannot be built
+	// with (must be 1 or fill a square mesh).
+	CodeBadCores Code = "bad_cores"
+	// CodeShuttingDown: the server is draining or the request's work was
+	// canceled; the same request against a live replica can succeed.
+	CodeShuttingDown Code = "shutting_down"
+	// CodeUnavailable: the server could not be reached at all (synthesized
+	// client-side from transport errors and truncated responses).
+	CodeUnavailable Code = "unavailable"
+	// CodeInternal: the request was valid but execution failed
+	// (simulation error, validation failure, encoding error). Simulations
+	// are deterministic, so a retry elsewhere fails identically.
+	CodeInternal Code = "internal"
+)
+
+// codeStatus maps each code to its HTTP status.
+var codeStatus = map[Code]int{
+	CodeBadRequest:        http.StatusBadRequest,
+	CodeUnknownBench:      http.StatusBadRequest,
+	CodeUnknownSched:      http.StatusBadRequest,
+	CodeUnknownScale:      http.StatusBadRequest,
+	CodeUnknownFormat:     http.StatusBadRequest,
+	CodeUnknownExperiment: http.StatusNotFound,
+	CodeBadCores:          http.StatusBadRequest,
+	CodeShuttingDown:      http.StatusServiceUnavailable,
+	CodeUnavailable:       http.StatusServiceUnavailable,
+	CodeInternal:          http.StatusInternalServerError,
+}
+
+// retryableCode says whether a code is safe to retry against a different
+// replica: the failure is a property of the serving instance, not of the
+// request. Everything else is deterministic and would fail identically.
+func retryableCode(c Code) bool {
+	return c == CodeShuttingDown || c == CodeUnavailable
+}
+
+// Error is the structured error every non-2xx /v1 response carries, as
+// the envelope {"error":{"code","message","retryable"}}. It implements
+// the error interface so it can flow through ordinary error returns.
+type Error struct {
+	Code      Code   `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+// Errorf builds an Error with the code's canonical HTTP status and
+// retryability.
+func Errorf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...), Retryable: retryableCode(code)}
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// HTTPStatus returns the status the envelope is served with.
+func (e *Error) HTTPStatus() int {
+	if s, ok := codeStatus[e.Code]; ok {
+		return s
+	}
+	return http.StatusInternalServerError
+}
+
+// envelope is the wire shape of an error response.
+type envelope struct {
+	Error *Error `json:"error"`
+}
+
+// WriteError writes e as the JSON error envelope with its canonical
+// status. It is the single error-response writer of every /v1 endpoint —
+// no handler writes plain-text http.Error bodies.
+func WriteError(w http.ResponseWriter, e *Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(e.HTTPStatus())
+	b, err := json.Marshal(envelope{Error: e})
+	if err != nil { // an Error is three plain fields; cannot happen
+		b = []byte(`{"error":{"code":"internal","message":"error encoding failed","retryable":false}}`)
+	}
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// DecodeError reconstructs the Error of a non-2xx response from its
+// status and body. A body that is not a valid envelope (a proxy in the
+// path, a pre-envelope server) degrades to a synthesized Error: the text
+// as the message, the code inferred from the status, retryable only for
+// 503s — so callers can always route on Code and Retryable.
+func DecodeError(status int, body []byte) *Error {
+	var env envelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		return env.Error
+	}
+	code := CodeInternal
+	switch {
+	case status == http.StatusNotFound:
+		code = CodeUnknownExperiment
+	case status == http.StatusServiceUnavailable:
+		code = CodeShuttingDown
+	case status >= 400 && status < 500:
+		code = CodeBadRequest
+	}
+	return &Error{Code: code, Message: string(body), Retryable: retryableCode(code)}
+}
+
+// AsError extracts the *Error behind err, synthesizing a retryable
+// CodeUnavailable for plain transport-level errors — the form every
+// Client failure takes, so callers can uniformly inspect Code/Retryable.
+func AsError(err error) *Error {
+	var e *Error
+	if errors.As(err, &e) {
+		return e
+	}
+	return &Error{Code: CodeUnavailable, Message: err.Error(), Retryable: true}
+}
