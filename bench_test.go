@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"swarmhints/internal/bench"
+	"swarmhints/internal/calq"
 	"swarmhints/internal/conflict"
 	"swarmhints/internal/exp"
 	"swarmhints/internal/mem"
@@ -231,6 +232,76 @@ func BenchmarkMemLoadStore(b *testing.B) {
 	}
 }
 
+// BenchmarkEventQueue measures the calendar queue under the engine's event
+// pattern: a few hundred pending events clustered within a few hundred
+// cycles of now, popped and replaced one wake-up at a time, with an
+// occasional far-future straggler exercising the overflow heap.
+func BenchmarkEventQueue(b *testing.B) {
+	const (
+		pending = 512
+		churn   = 1 << 16
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := calq.New[int](1024)
+		rng := uint64(0x9e3779b97f4a7c15)
+		next := func() uint64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return rng >> 16
+		}
+		now, seq := uint64(0), uint64(0)
+		for j := 0; j < pending; j++ {
+			seq++
+			q.Push(now+next()%400, seq, j)
+		}
+		for j := 0; j < churn; j++ {
+			e := q.Pop()
+			now = e.Time
+			seq++
+			d := next() % 400
+			if next()%64 == 0 {
+				d = 2048 + next()%8192 // beyond the window: overflow path
+			}
+			q.Push(now+d, seq, j)
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	}
+}
+
+// BenchmarkSpillSelect measures the coalescer's victim selection: a full
+// tile queue repeatedly spilling its latest-order batch to memory and
+// pulling it back, the spill/refill cycle a saturated tile pays. Selection
+// reads the order-sorted idle ring from the back, so each firing costs
+// O(batch), not a walk of the whole idle set.
+func BenchmarkSpillSelect(b *testing.B) {
+	const (
+		capacity = 256
+		batch    = 15
+		rounds   = 64
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		q := task.NewQueue(0, capacity, 64)
+		for j := 0; j < capacity; j++ {
+			q.Enqueue(task.NewTask(uint64(j+1), 0, uint64(j), task.HintNone, 0, nil))
+		}
+		b.StartTimer()
+		for round := 0; round < rounds; round++ {
+			if len(q.Spill(batch)) == 0 {
+				b.Fatal("nothing spilled from a full queue")
+			}
+			if len(q.Refill(batch)) == 0 {
+				b.Fatal("nothing refilled")
+			}
+		}
+	}
+}
+
 // trajectoryPoint is one recorded perf-trajectory measurement, written as
 // BENCH_<rev>.json by TestBenchTrajectory (see README, "Perf trajectory").
 type trajectoryPoint struct {
@@ -269,6 +340,8 @@ func TestBenchTrajectory(t *testing.T) {
 	}{
 		{"EngineEnqueueCommit", BenchmarkEngineEnqueueCommit},
 		{"EngineContended", BenchmarkEngineContended},
+		{"EventQueue", BenchmarkEventQueue},
+		{"SpillSelect", BenchmarkSpillSelect},
 		{"ConflictIndex", BenchmarkConflictIndex},
 		{"MemLoadStore", BenchmarkMemLoadStore},
 		{"SweepRunner", BenchmarkSweepRunner},

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// TestCalqDifferentialMatrix is the calendar-queue acceptance gate: every
+// workload × scheduler × core-count configuration must produce byte-identical
+// statistics under the calendar-queue engine and the reference binary-heap
+// engine. With unique (time, seq) event keys the pop sequence is a pure
+// function of the push sequence, so any divergence — one cycle, one abort,
+// one byte of the snapshot — means the queue broke the event total order.
+// CI pins this test by name; do not rename it.
+func TestCalqDifferentialMatrix(t *testing.T) {
+	programs := []struct {
+		name  string
+		build func() (*Program, []Root, uint64)
+	}{
+		{"contended", func() (*Program, []Root, uint64) { return counterProgram(256, false) }},
+		{"tree", func() (*Program, []Root, uint64) { return treeProgram(8) }},
+	}
+	for _, prog := range programs {
+		for _, kind := range allKinds() {
+			for _, cores := range []int{1, 4, 16, 64} {
+				name := fmt.Sprintf("%s/%s/%dcores", prog.name, kind, cores)
+				t.Run(name, func(t *testing.T) {
+					snap := func(useHeap bool) []byte {
+						cfg := testCfg(cores, kind)
+						cfg.useHeapEvents = useHeap
+						p, roots, _ := prog.build()
+						st, err := Run(p, roots, cfg)
+						if err != nil {
+							t.Fatalf("useHeap=%v: %v", useHeap, err)
+						}
+						b, err := json.Marshal(st.Snapshot())
+						if err != nil {
+							t.Fatal(err)
+						}
+						return b
+					}
+					calq, heap := snap(false), snap(true)
+					if string(calq) != string(heap) {
+						t.Fatalf("calendar-queue and heap engines diverged\ncalq: %s\nheap: %s", calq, heap)
+					}
+				})
+			}
+		}
+	}
+}

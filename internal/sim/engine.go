@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"swarmhints/internal/cache"
+	"swarmhints/internal/calq"
 	"swarmhints/internal/conflict"
 	"swarmhints/internal/gvt"
 	"swarmhints/internal/mem"
@@ -33,8 +34,21 @@ type event struct {
 	gen  uint64 // core generation for stale-completion detection
 }
 
+// evPayload is the calendar queue's view of an event: everything but the
+// (time, seq) key, which calq carries itself.
+type evPayload struct {
+	kind int
+	core int
+	gen  uint64
+}
+
+// eventWindow is the calendar queue's ring width in cycles. Almost every
+// event lands within a task length or a GVT interval of now, far inside
+// this horizon; the rare long-latency stragglers ride calq's overflow heap.
+const eventWindow = 1024
+
 // before is the event order: time, then schedule sequence. (time, seq) pairs
-// are unique, so heap restructuring can never reorder equal keys and the
+// are unique, so queue restructuring can never reorder equal keys and the
 // event stream is fully deterministic.
 func (e event) before(f event) bool {
 	if e.time != f.time {
@@ -43,11 +57,11 @@ func (e event) before(f event) bool {
 	return e.seq < f.seq
 }
 
-// eventHeap is a min-heap of pending events. The sift loops move the
-// displaced event through a hole — one 40-byte copy per level instead of a
-// swap's two — with the (time, seq) comparison flattened inline; this heap
-// is popped once per simulated wake-up, making it one of the hottest
-// structures in the engine.
+// eventHeap is the reference event queue: the binary min-heap the engine
+// used before the calendar queue. It is retained behind Config.useHeapEvents
+// so the differential matrix test can prove the two produce byte-identical
+// runs; the sift loops move the displaced event through a hole — one copy
+// per level instead of a swap's two.
 type eventHeap []event
 
 func (h *eventHeap) push(e event) {
@@ -122,9 +136,16 @@ type Engine struct {
 	// the run's Stats are a snapshot over it.
 	rec *metrics.Recorder
 
-	events eventHeap
-	evSeq  uint64
-	now    uint64
+	// events is the engine's pending-event queue, popped once per simulated
+	// wake-up — one of the hottest structures in the engine. The calendar
+	// queue gives amortized O(1) push/pop for the near-horizon events a
+	// cycle-driven run produces; heapEv is the pre-calq reference engine,
+	// active only when cfg.useHeapEvents is set (differential tests).
+	events  *calq.Queue[evPayload]
+	heapEv  eventHeap
+	useHeap bool
+	evSeq   uint64
+	now     uint64
 
 	nextID uint64
 	live   int64 // tasks neither committed nor squashed
@@ -212,6 +233,10 @@ func newEngine(p *Program, cfg Config) *Engine {
 	e.gvtMins = make([]task.Order, tiles)
 	e.gvtRunning = make([][]*task.Task, tiles)
 	e.pickMemo = make([]pickMemo, tiles)
+	e.useHeap = cfg.useHeapEvents
+	if !e.useHeap {
+		e.events = calq.New[evPayload](eventWindow)
+	}
 	if cfg.Profile {
 		e.prof = newProfiler()
 	}
@@ -233,10 +258,10 @@ func (e *Engine) run() (*Stats, error) {
 		if e.live == 0 {
 			break
 		}
-		if len(e.events) == 0 {
+		if e.pendingEvents() == 0 {
 			return nil, fmt.Errorf("sim: no events pending with %d live tasks (deadlock)", e.live)
 		}
-		ev := e.events.pop()
+		ev := e.popEvent()
 		if ev.time > maxCycles {
 			return nil, fmt.Errorf("%w at cycle %d (%d live tasks)\n%s", ErrWatchdog, ev.time, e.live, e.dumpState())
 		}
@@ -244,8 +269,12 @@ func (e *Engine) run() (*Stats, error) {
 		e.handle(ev)
 		// Drain every event scheduled for this same cycle before
 		// re-attempting dispatch, so the cycle's state is settled.
-		for len(e.events) > 0 && e.events[0].time == e.now {
-			e.handle(e.events.pop())
+		for {
+			t, ok := e.peekEventTime()
+			if !ok || t != e.now {
+				break
+			}
+			e.handle(e.popEvent())
 		}
 	}
 
@@ -316,7 +345,36 @@ func (e *Engine) finalizeStats() {
 
 func (e *Engine) schedule(kind int, t uint64, core int, gen uint64) {
 	e.evSeq++
-	e.events.push(event{time: t, seq: e.evSeq, kind: kind, core: core, gen: gen})
+	if e.useHeap {
+		e.heapEv.push(event{time: t, seq: e.evSeq, kind: kind, core: core, gen: gen})
+		return
+	}
+	e.events.Push(t, e.evSeq, evPayload{kind: kind, core: core, gen: gen})
+}
+
+func (e *Engine) pendingEvents() int {
+	if e.useHeap {
+		return len(e.heapEv)
+	}
+	return e.events.Len()
+}
+
+func (e *Engine) popEvent() event {
+	if e.useHeap {
+		return e.heapEv.pop()
+	}
+	en := e.events.Pop()
+	return event{time: en.Time, seq: en.Seq, kind: en.V.kind, core: en.V.core, gen: en.V.gen}
+}
+
+func (e *Engine) peekEventTime() (uint64, bool) {
+	if e.useHeap {
+		if len(e.heapEv) == 0 {
+			return 0, false
+		}
+		return e.heapEv[0].time, true
+	}
+	return e.events.PeekTime()
 }
 
 func (e *Engine) handle(ev event) {

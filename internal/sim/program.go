@@ -84,6 +84,11 @@ type Config struct {
 	// of Sec. III-B while keeping hint-based spatial mapping. Used by the
 	// ablation experiment to separate the two mechanisms.
 	DisableSerialization bool
+
+	// useHeapEvents selects the pre-calendar-queue binary-heap event queue.
+	// Unexported: only the differential tests flip it, to prove the calendar
+	// queue and the reference heap drive byte-identical runs.
+	useHeapEvents bool
 }
 
 // DefaultConfig is the paper's 256-core configuration (Table II).

@@ -26,15 +26,18 @@ package store
 
 import (
 	"bytes"
+	"compress/flate"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -140,13 +143,48 @@ func (s *Store) Path(key string) string {
 	return filepath.Join(s.dir, h[:2], h[2:]+recExt)
 }
 
+// flagDeflate on the checksum line marks a deflate-compressed payload. The
+// header stays plain text either way, and the length + SHA-256 always
+// describe the stored (possibly compressed) bytes, so a record validates
+// fully before any inflation runs.
+const flagDeflate = "deflate"
+
+// deflatePayload compresses payload, returning nil when compression would
+// not shrink it (already-dense or tiny payloads stay plain). Deflate at a
+// fixed level is deterministic, preserving the store's idempotent-write
+// guarantee: same key ⇒ same record bytes.
+func deflatePayload(payload []byte) []byte {
+	var b bytes.Buffer
+	zw, err := flate.NewWriter(&b, flate.DefaultCompression)
+	if err != nil {
+		return nil
+	}
+	if _, err := zw.Write(payload); err != nil {
+		return nil
+	}
+	if err := zw.Close(); err != nil {
+		return nil
+	}
+	if b.Len() >= len(payload) {
+		return nil
+	}
+	return b.Bytes()
+}
+
 // encodeRecord assembles the on-disk record: a three-line header (magic,
-// full key, payload length + SHA-256) followed by the payload bytes.
+// full key, payload length + SHA-256, plus a compression flag when the
+// payload deflates smaller) followed by the payload bytes. Snapshot JSON
+// compresses several-fold, so more configurations fit under a shared
+// directory's -store-max-bytes cap.
 func encodeRecord(key string, payload []byte) []byte {
+	flag := ""
+	if z := deflatePayload(payload); z != nil {
+		payload, flag = z, " "+flagDeflate
+	}
 	sum := sha256.Sum256(payload)
 	var b bytes.Buffer
 	b.Grow(len(Magic) + len(key) + len(payload) + 96)
-	fmt.Fprintf(&b, "%s\n%s\n%d %s\n", Magic, key, len(payload), hex.EncodeToString(sum[:]))
+	fmt.Fprintf(&b, "%s\n%s\n%d %s%s\n", Magic, key, len(payload), hex.EncodeToString(sum[:]), flag)
 	b.Write(payload)
 	return b.Bytes()
 }
@@ -184,19 +222,40 @@ func decodeRecord(data []byte, key string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	var n int
-	var hexSum string
-	if _, err := fmt.Sscanf(sums, "%d %s", &n, &hexSum); err != nil {
+	fields := strings.Fields(sums)
+	if len(fields) != 2 && len(fields) != 3 {
 		return nil, fmt.Errorf("bad checksum line %q", sums)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("bad checksum line %q", sums)
+	}
+	compressed := false
+	if len(fields) == 3 {
+		if fields[2] != flagDeflate {
+			return nil, fmt.Errorf("unknown payload flag %q", fields[2])
+		}
+		compressed = true
 	}
 	if n != len(rest) {
 		return nil, fmt.Errorf("payload is %d bytes, header says %d", len(rest), n)
 	}
 	sum := sha256.Sum256(rest)
-	if hex.EncodeToString(sum[:]) != hexSum {
+	if hex.EncodeToString(sum[:]) != fields[1] {
 		return nil, errors.New("payload checksum mismatch")
 	}
-	return rest, nil
+	if !compressed {
+		return rest, nil
+	}
+	zr := flate.NewReader(bytes.NewReader(rest))
+	payload, err := io.ReadAll(zr)
+	if err == nil {
+		err = zr.Close()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("inflating payload: %w", err)
+	}
+	return payload, nil
 }
 
 // errBadKey rejects keys the line-oriented header cannot carry. Canonical

@@ -10,6 +10,8 @@ package store_test
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -360,5 +362,79 @@ func TestBadKeyRejected(t *testing.T) {
 	}
 	if c := s.Counters(); c.Corrupt != 0 {
 		t.Fatalf("bad key miscounted as corruption: %+v", c)
+	}
+}
+
+// TestCompressedRecordRoundTrip: a compressible payload is stored deflated
+// (the record file is smaller than the payload, the header carries the
+// flag in plain text) and reads back byte-identical.
+func TestCompressedRecordRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	const key = "tiny/9/des/Hints/64/false"
+	payload := []byte(`{"tiles":[` + strings.Repeat(`{"commitCycles":123456,"abortCycles":0},`, 200) + `{}]}`)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := os.ReadFile(s.Path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) >= len(payload) {
+		t.Fatalf("record is %d bytes for a %d-byte compressible payload", len(rec), len(payload))
+	}
+	lines := bytes.SplitN(rec, []byte("\n"), 4)
+	if len(lines) < 4 || !strings.HasSuffix(string(lines[2]), " deflate") {
+		t.Fatalf("checksum line %q does not carry the deflate flag", lines[2])
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("compressed round trip: ok=%v, %d bytes back for %d in", ok, len(got), len(payload))
+	}
+}
+
+// TestLegacyUncompressedRecordReads: records written before compression
+// existed — plain payload, two-field checksum line — must keep reading.
+func TestLegacyUncompressedRecordReads(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	const key = "tiny/9/des/Random/4/false"
+	payload := []byte(`{"cycles":9,` + strings.Repeat(`"x":0,`, 100) + `"cores":4}`)
+	sum := sha256.Sum256(payload)
+	rec := fmt.Sprintf("%s\n%s\n%d %s\n%s", store.Magic, key, len(payload), hex.EncodeToString(sum[:]), payload)
+	path := s.Path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(rec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("legacy record unreadable: ok=%v got %d bytes", ok, len(got))
+	}
+	if c := s.Counters(); c.Corrupt != 0 {
+		t.Fatalf("legacy record miscounted as corrupt: %+v", c)
+	}
+}
+
+// TestUnknownPayloadFlagIsMiss: a record carrying a flag this version does
+// not understand reads as a corrupt miss, never as garbage payload bytes.
+func TestUnknownPayloadFlagIsMiss(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	const key = "tiny/9/des/Stealing/4/false"
+	payload := []byte(`{"cycles":1}`)
+	sum := sha256.Sum256(payload)
+	rec := fmt.Sprintf("%s\n%s\n%d %s zstd\n%s", store.Magic, key, len(payload), hex.EncodeToString(sum[:]), payload)
+	path := s.Path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(rec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("unknown flag served as a hit")
+	}
+	if c := s.Counters(); c.Corrupt != 1 {
+		t.Fatalf("unknown flag not counted corrupt: %+v", c)
 	}
 }

@@ -109,8 +109,9 @@ type Task struct {
 
 	// DispatchCycle is when the current attempt started.
 	DispatchCycle uint64
-	// heap bookkeeping
-	heapIdx int
+	// qpos is the task's slot in its tile's order-indexed idle ring
+	// (-1 while not idle). Maintained by orderRing only.
+	qpos int
 }
 
 // Ord returns the task's speculative order.
@@ -150,7 +151,7 @@ func (t *Task) init(id uint64, fn FnID, ts uint64, kind HintKind, hint uint64, p
 	t.SeenStamp, t.AbortStamp = 0, 0
 	t.RunCycles, t.Aborts = 0, 0
 	t.DispatchCycle = 0
-	t.heapIdx = -1
+	t.qpos = -1
 	if kind == HintSame && parent != nil && parent.HintKind == HintInt {
 		// Inherit the parent's integer hint outright.
 		t.Hint = parent.Hint
@@ -216,87 +217,119 @@ func (t *Task) ordBefore(u *Task) bool {
 	return t.ID < u.ID
 }
 
-// orderHeap is a min-heap of idle tasks by speculative order. The sift
-// loops move the displaced element through a hole instead of swapping at
-// every level: one slot write (plus one heapIdx write) per level rather
-// than two, with the comparisons flattened to inline integer compares.
-type orderHeap []*Task
-
-func (h *orderHeap) push(t *Task) {
-	*h = append(*h, t)
-	h.up(len(*h) - 1)
+// orderRing is the tile's order-indexed idle structure: every idle task,
+// kept fully sorted by speculative order in a power-of-two circular
+// buffer. Keeping the set sorted moves cost from the engine's read paths
+// to its (much rarer) mutations: the earliest task is a load, the
+// serialization walk over idle tasks is a linear scan with no per-visit
+// heap bookkeeping, and spill-victim selection reads the latest-order
+// tasks straight off the back. An insert binary-searches its rank and
+// shifts whichever side of the ring is shorter — and the engine's access
+// pattern makes that shift almost always empty: freshly created tasks
+// carry the latest orders (append at the back), while aborted retries and
+// refills carry the earliest (prepend at the front). Order keys are
+// unique, so the layout is a pure function of the mutation sequence and
+// engine determinism is preserved by construction.
+type orderRing struct {
+	buf  []*Task // power-of-two ring; live slots are [head, head+n)
+	head int     // buf index of the earliest-order task
+	n    int
 }
 
-func (h *orderHeap) pop() *Task {
-	old := *h
-	t := old[0]
-	last := len(old) - 1
-	old[0] = old[last]
-	old[last] = nil
-	*h = old[:last]
-	if last > 0 {
-		old[0].heapIdx = 0
-		h.down(0)
+func (r *orderRing) len() int { return r.n }
+
+// at returns the task with the i-th smallest order. Callers guarantee
+// 0 <= i < n.
+func (r *orderRing) at(i int) *Task { return r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+// grow doubles the ring, relaying the live window to the front.
+func (r *orderRing) grow() {
+	c := len(r.buf) * 2
+	if c == 0 {
+		c = 16
 	}
-	t.heapIdx = -1
-	return t
+	nb := make([]*Task, c)
+	for i := 0; i < r.n; i++ {
+		t := r.at(i)
+		nb[i] = t
+		t.qpos = i
+	}
+	r.buf = nb
+	r.head = 0
 }
 
-func (h *orderHeap) remove(t *Task) {
-	i := t.heapIdx
-	if i < 0 {
+// rank returns how many queued tasks precede t in speculative order.
+func (r *orderRing) rank(t *Task) int {
+	lo, hi := 0, r.n
+	mask := len(r.buf) - 1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.buf[(r.head+mid)&mask].ordBefore(t) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// push inserts t at its order rank, shifting the shorter side of the ring.
+func (r *orderRing) push(t *Task) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	mask := len(r.buf) - 1
+	rk := r.rank(t)
+	if rk*2 <= r.n {
+		r.head = (r.head - 1) & mask
+		for i := 0; i < rk; i++ {
+			p := (r.head + i) & mask
+			u := r.buf[(p+1)&mask]
+			r.buf[p] = u
+			u.qpos = p
+		}
+	} else {
+		for i := r.n; i > rk; i-- {
+			p := (r.head + i) & mask
+			u := r.buf[(p-1)&mask]
+			r.buf[p] = u
+			u.qpos = p
+		}
+	}
+	p := (r.head + rk) & mask
+	r.buf[p] = t
+	t.qpos = p
+	r.n++
+}
+
+// remove extracts t (a no-op when t is not queued), closing the gap from
+// whichever end is nearer.
+func (r *orderRing) remove(t *Task) {
+	if t.qpos < 0 {
 		return
 	}
-	old := *h
-	last := len(old) - 1
-	old[i] = old[last]
-	old[i].heapIdx = i
-	old[last] = nil
-	*h = old[:last]
-	if i < last {
-		h.down(i)
-		h.up(i)
+	mask := len(r.buf) - 1
+	rk := (t.qpos - r.head) & mask
+	if rk*2 <= r.n {
+		for i := rk; i > 0; i-- {
+			p := (r.head + i) & mask
+			u := r.buf[(p-1)&mask]
+			r.buf[p] = u
+			u.qpos = p
+		}
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) & mask
+	} else {
+		for i := rk; i < r.n-1; i++ {
+			p := (r.head + i) & mask
+			u := r.buf[(p+1)&mask]
+			r.buf[p] = u
+			u.qpos = p
+		}
+		r.buf[(r.head+r.n-1)&mask] = nil
 	}
-	t.heapIdx = -1
-}
-
-func (h orderHeap) up(i int) {
-	t := h[i]
-	for i > 0 {
-		p := (i - 1) / 2
-		if !t.ordBefore(h[p]) {
-			break
-		}
-		h[i] = h[p]
-		h[i].heapIdx = i
-		i = p
-	}
-	h[i] = t
-	t.heapIdx = i
-}
-
-func (h orderHeap) down(i int) {
-	n := len(h)
-	t := h[i]
-	for {
-		l, r := 2*i+1, 2*i+2
-		s := i
-		top := t
-		if l < n && h[l].ordBefore(top) {
-			s, top = l, h[l]
-		}
-		if r < n && h[r].ordBefore(top) {
-			s = r
-		}
-		if s == i {
-			break
-		}
-		h[i] = h[s]
-		h[i].heapIdx = i
-		i = s
-	}
-	h[i] = t
-	t.heapIdx = i
+	r.n--
+	t.qpos = -1
 }
 
 // Queue is one tile's task unit storage: every task physically resident on
@@ -306,7 +339,7 @@ type Queue struct {
 	tile       int
 	capacity   int
 	commitCap  int
-	idle       orderHeap
+	idle       orderRing
 	resident   int // idle + running + finished tasks on this tile
 	commitUsed int
 	// spillBuffer holds tasks spilled to memory, kept sorted descending by
@@ -317,7 +350,6 @@ type Queue struct {
 	// until Refill or DropSquashedSpills drops them; neither disturbs the
 	// order.
 	spillBuffer []*Task
-	walkScratch []int32 // reused by IdleInOrder's frontier walk
 	listScratch []*Task // reused for Spill/Refill result lists
 }
 
@@ -337,7 +369,7 @@ func (q *Queue) Capacity() int { return q.capacity }
 func (q *Queue) Resident() int { return q.resident }
 
 // IdleCount returns the number of dispatchable tasks.
-func (q *Queue) IdleCount() int { return len(q.idle) }
+func (q *Queue) IdleCount() int { return q.idle.len() }
 
 // SpilledCount returns the number of tasks spilled to memory.
 func (q *Queue) SpilledCount() int { return len(q.spillBuffer) }
@@ -370,82 +402,29 @@ func (q *Queue) Enqueue(t *Task) bool {
 
 // PeekEarliest returns the earliest-order idle task without removing it.
 func (q *Queue) PeekEarliest() *Task {
-	if len(q.idle) == 0 {
+	if q.idle.n == 0 {
 		return nil
 	}
-	return q.idle[0]
+	return q.idle.buf[q.idle.head]
 }
 
 // IdleInOrder iterates idle tasks in speculative order, calling fn until it
 // returns false. Used by dispatch to skip hint-serialized candidates
-// (Sec. III-B). The walk is O(k log k) for the k tasks visited and does not
-// mutate the heap: a frontier min-heap of heap positions starts at the root,
-// and visiting a position adds its children — the heap property guarantees
-// the frontier always contains the earliest unvisited task. Under heavy
-// serialization (every idle task skipped, the contended worst case) this
-// replaces a full pop-and-push-back rebuild per dispatch attempt with a
-// read-only scan over small integers.
+// (Sec. III-B). The idle ring is already order-sorted, so the walk is a
+// plain read-only scan — O(1) per visited task with no scratch state, even
+// under heavy serialization (every idle task skipped, the contended worst
+// case). fn must not mutate the queue.
 func (q *Queue) IdleInOrder(fn func(*Task) bool) {
-	h := q.idle
-	if len(h) == 0 {
+	n := q.idle.n
+	if n == 0 {
 		return
 	}
-	fr := q.walkScratch[:0]
-	fr = append(fr, 0)
-	for len(fr) > 0 {
-		// Pop the frontier position holding the earliest task.
-		pos := fr[0]
-		last := len(fr) - 1
-		moved := fr[last]
-		fr = fr[:last]
-		if last > 0 {
-			i := 0
-			for {
-				l, r := 2*i+1, 2*i+2
-				s := i
-				top := moved
-				if l < last && h[fr[l]].ordBefore(h[top]) {
-					s, top = l, fr[l]
-				}
-				if r < last && h[fr[r]].ordBefore(h[top]) {
-					s = r
-				}
-				if s == i {
-					break
-				}
-				fr[i] = fr[s]
-				i = s
-			}
-			fr[i] = moved
-		}
-		if !fn(h[pos]) {
-			q.walkScratch = fr[:0]
+	mask := len(q.idle.buf) - 1
+	for i := 0; i < n; i++ {
+		if !fn(q.idle.buf[(q.idle.head+i)&mask]) {
 			return
 		}
-		// Visit order is the heap's sorted order, so the children of pos
-		// join the frontier only now.
-		if c := 2*pos + 1; int(c) < len(h) {
-			fr = frontierPush(fr, c, h)
-		}
-		if c := 2*pos + 2; int(c) < len(h) {
-			fr = frontierPush(fr, c, h)
-		}
 	}
-	q.walkScratch = fr[:0]
-}
-
-func frontierPush(fr []int32, c int32, h orderHeap) []int32 {
-	fr = append(fr, c)
-	i := len(fr) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !h[fr[i]].ordBefore(h[fr[p]]) {
-			break
-		}
-		fr[i], fr[p] = fr[p], fr[i]
-		i = p
-	}
-	return fr
 }
 
 // Dispatch removes an idle task for execution on a core, reserving its
@@ -534,27 +513,26 @@ func (q *Queue) RemoveIdle(t *Task) {
 
 // Spill moves up to max idle tasks with the latest orders out to memory,
 // preferring tasks whose parent has committed or that have no live parent
-// (Sec. II-B). It returns the spilled tasks so the caller can charge cycles
-// and traffic; the slice is scratch reused by the next Spill or Refill.
+// (Sec. II-B). Selection reads the order-sorted idle ring from the latest
+// end — O(batch) plus any unspillable tasks skipped over, instead of the
+// full scan-and-sort over every idle task the heap needed per coalescer
+// firing. It returns the spilled tasks (descending order, the spill
+// buffer's invariant) so the caller can charge cycles and traffic; the
+// slice is scratch reused by the next Spill or Refill.
 func (q *Queue) Spill(max int) []*Task {
-	if max <= 0 || len(q.idle) == 0 {
+	if max <= 0 || q.idle.n == 0 {
 		return nil
 	}
-	// Find the latest-order spillable idle tasks: scan the heap slice (it
-	// is not sorted, a full scan is fine at these sizes).
 	cands := q.listScratch[:0]
 	defer func() { q.listScratch = cands[:0] }()
-	for _, t := range q.idle {
+	for i := q.idle.n - 1; i >= 0 && len(cands) < max; i-- {
+		t := q.idle.at(i)
 		if t.Parent == nil || t.Parent.State == Committed || t.Parent.State == Finished || t.Parent.State == Running {
 			cands = append(cands, t)
 		}
 	}
 	if len(cands) == 0 {
 		return nil
-	}
-	sortTasksByOrderDesc(cands)
-	if len(cands) > max {
-		cands = cands[:max]
 	}
 	for _, t := range cands {
 		q.idle.remove(t)
@@ -630,8 +608,8 @@ func (q *Queue) DropSquashedSpills() {
 // GVT arbiter aggregates this across tiles.
 func (q *Queue) EarliestUncommitted(running []*Task, finished []*Task) Order {
 	best := MaxOrder
-	if len(q.idle) > 0 && q.idle[0].Ord().Before(best) {
-		best = q.idle[0].Ord()
+	if q.idle.n > 0 && q.idle.buf[q.idle.head].Ord().Before(best) {
+		best = q.idle.buf[q.idle.head].Ord()
 	}
 	for _, t := range q.spillBuffer {
 		if t.State == Spilled && t.Ord().Before(best) {
@@ -649,71 +627,4 @@ func (q *Queue) EarliestUncommitted(running []*Task, finished []*Task) Order {
 		}
 	}
 	return best
-}
-
-// sortTasksByOrderDesc sorts descending by speculative order. Order keys are
-// unique (TS, ID), so every correct sort yields the same permutation and the
-// algorithm choice cannot perturb engine determinism. Insertion sort handles
-// small inputs in linear-ish time; larger unsorted inputs — Spill's
-// candidate scans, the one remaining caller now that the spill buffer keeps
-// itself sorted — take the quicksort path.
-func sortTasksByOrderDesc(ts []*Task) {
-	if len(ts) > 32 {
-		quickSortTasksDesc(ts, 0, len(ts)-1)
-		return
-	}
-	insertionSortTasksDesc(ts)
-}
-
-func insertionSortTasksDesc(ts []*Task) {
-	for i := 1; i < len(ts); i++ {
-		t := ts[i]
-		j := i - 1
-		for j >= 0 && ts[j].ordBefore(t) {
-			ts[j+1] = ts[j]
-			j--
-		}
-		ts[j+1] = t
-	}
-}
-
-func quickSortTasksDesc(ts []*Task, lo, hi int) {
-	for hi-lo > 32 {
-		// Median-of-three pivot: defeats the sorted and reverse-sorted
-		// patterns the spill buffer produces.
-		mid := int(uint(lo+hi) >> 1)
-		if ts[mid].ordBefore(ts[lo]) {
-			ts[mid], ts[lo] = ts[lo], ts[mid]
-		}
-		if ts[hi].ordBefore(ts[lo]) {
-			ts[hi], ts[lo] = ts[lo], ts[hi]
-		}
-		if ts[hi].ordBefore(ts[mid]) {
-			ts[hi], ts[mid] = ts[mid], ts[hi]
-		}
-		p := ts[mid]
-		i, j := lo, hi
-		for i <= j {
-			for p.ordBefore(ts[i]) {
-				i++
-			}
-			for ts[j].ordBefore(p) {
-				j--
-			}
-			if i <= j {
-				ts[i], ts[j] = ts[j], ts[i]
-				i++
-				j--
-			}
-		}
-		// Recurse into the smaller half, loop on the larger.
-		if j-lo < hi-i {
-			quickSortTasksDesc(ts, lo, j)
-			lo = i
-		} else {
-			quickSortTasksDesc(ts, i, hi)
-			hi = j
-		}
-	}
-	insertionSortTasksDesc(ts[lo : hi+1])
 }
