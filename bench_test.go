@@ -302,6 +302,31 @@ func BenchmarkSpillSelect(b *testing.B) {
 	}
 }
 
+// BenchmarkSeedMerge measures the seed-replica merge fold: 16 per-seed
+// results of one Tiny configuration collapsed into the aggregate record
+// (counter sums, per-tile adds, derived recompute, cross-seed dispersion
+// summary). The per-seed inputs are simulated once outside the timed
+// region, so the number is the merge itself, not the simulations.
+func BenchmarkSeedMerge(b *testing.B) {
+	const seeds = 16
+	p := exp.Point{Name: "des", Kind: swarm.Hints, Cores: 4}
+	per := make([]*swarm.Stats, seeds)
+	for i, s := range exp.ReplicaSeeds(7, seeds) {
+		st, err := exp.RunPoint(p, bench.Tiny, s, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		per[i] = st
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := swarm.MergeStats(per); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // trajectoryPoint is one recorded perf-trajectory measurement, written as
 // BENCH_<rev>.json by TestBenchTrajectory (see README, "Perf trajectory").
 type trajectoryPoint struct {
@@ -345,6 +370,7 @@ func TestBenchTrajectory(t *testing.T) {
 		{"ConflictIndex", BenchmarkConflictIndex},
 		{"MemLoadStore", BenchmarkMemLoadStore},
 		{"SweepRunner", BenchmarkSweepRunner},
+		{"SeedMerge", BenchmarkSeedMerge},
 	} {
 		res := testing.Benchmark(b.fn)
 		point.Benchmarks = append(point.Benchmarks, trajectoryRow{

@@ -22,7 +22,17 @@
 //	experiments -exp fig4 -format json        # machine-readable export
 //	experiments -exp fig5 -format csv -out fig5.csv
 //	experiments -exp all -store results.store # persist runs; later invocations reuse them
+//	experiments -exp fig2 -seeds 8            # 8 seed replicas per point, merged with error bars
 //	experiments -list
+//
+// -seeds N (> 1) runs every configuration point as N seed replicas
+// (workload seeds derived from -seed) and caches/exports the merged record:
+// counters summed, derived metrics recomputed, cross-seed dispersion in the
+// snapshot's seedSummary block (schema swarmhints.metrics.v2). -seed-shards
+// bounds how many shard jobs one point's replicas are split into; output is
+// byte-identical for every -seed-shards and -parallel value. With -store,
+// each replica persists under its ordinary per-seed key, so re-running with
+// more seeds only executes the new ones.
 //
 // -store DIR adds the persistent result store (internal/store) under the
 // in-memory cache: every simulation point is written through on first
@@ -51,7 +61,9 @@ func main() {
 	var (
 		expID     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
 		scaleName = flag.String("scale", "small", "input scale: tiny|small|full")
-		seed      = flag.Int64("seed", 7, "workload seed")
+		seed      = flag.Int64("seed", 7, "workload seed (base of the derived replica seeds when -seeds > 1)")
+		seeds     = flag.Int("seeds", 1, "seed replicas per configuration point, merged into one record with cross-seed error bars (schema v2)")
+		seedShard = flag.Int("seed-shards", 0, "shard jobs the -seeds replicas of one point are split into (0 = one per replica; any value is byte-identical)")
 		cores     = flag.String("cores", "", "comma-separated core sweep override, e.g. 1,16,256")
 		parallel  = flag.Int("parallel", 0, "simulation runs in flight at once (0 = GOMAXPROCS)")
 		format    = flag.String("format", "", "machine-readable output: json|csv (default: human tables)")
@@ -79,6 +91,8 @@ func main() {
 	}
 	opt := exp.DefaultOptions(scale)
 	opt.Seed = *seed
+	opt.Seeds = *seeds
+	opt.SeedShards = *seedShard
 	opt.Parallel = *parallel
 	opt.Store, err = cliutil.OpenStore(*storeDir, *storeMax)
 	if err != nil {

@@ -21,6 +21,7 @@
 //	swarmsim -bench bfs,sssp,des -sched random,hints -cores 1,16,64 -parallel 8
 //	swarmsim -bench silo -cores 64 -taskq 16,32,64 -commitq 4,8,16
 //	swarmsim -bench des -cores 64 -seeds 5       # 5 derived-seed replicas
+//	swarmsim -bench des -cores 64 -seeds 8 -seed-shards 4  # one merged record with error bars
 //	swarmsim -bench mis -cores 64 -format json   # machine-readable results
 //	swarmsim -bench bfs -cores 1,16 -format csv -out sweep.csv
 //	swarmsim -bench des -cores 64 -store results.store  # reuse results across invocations
@@ -53,6 +54,11 @@ import (
 // sweepFields is the label column order of the sweep's result set.
 var sweepFields = []string{"bench", "sched", "cores", "taskq", "commitq", "replica", "seed", "scale"}
 
+// mergedFields is the label column order in -seed-shards mode: one merged
+// record per configuration, labeled with the replica count and base seed
+// instead of a per-replica index.
+var mergedFields = []string{"bench", "sched", "cores", "taskq", "commitq", "seeds", "seed", "scale"}
+
 func main() {
 	var (
 		benchList  = flag.String("bench", "sssp", "benchmark name(s), comma-separated (see -list)")
@@ -63,6 +69,7 @@ func main() {
 		scaleName  = flag.String("scale", "small", "input scale: tiny|small|full")
 		seed       = flag.Int64("seed", 7, "workload seed (sweep seed when -seeds > 1)")
 		seeds      = flag.Int("seeds", 1, "seed replicas per configuration, derived from -seed")
+		seedShards = flag.Int("seed-shards", 0, "merge the -seeds replicas of each configuration into one record with cross-seed error bars, sharded into at most N shard jobs (0 = per-replica records)")
 		parallel   = flag.Int("parallel", 0, "runs in flight at once (0 = GOMAXPROCS)")
 		profile    = flag.Bool("profile", false, "collect access classification (Fig. 3; single run only)")
 		validate   = flag.Bool("validate", true, "check results against the serial reference")
@@ -131,6 +138,146 @@ func main() {
 	}
 	if *seeds < 1 {
 		*seeds = 1
+	}
+
+	// -seed-shards switches to merged-record mode: every configuration's
+	// seed replicas execute as shard jobs on the one worker pool and
+	// collapse into a single merged record with cross-seed error bars
+	// (schema swarmhints.metrics.v2) — byte-identical output for every
+	// -seed-shards and -parallel value, because replicas always merge in
+	// fixed seed order.
+	if *seedShards > 0 {
+		if *seeds < 2 {
+			fatal(fmt.Errorf("-seed-shards requires -seeds > 1"))
+		}
+		type cfgPoint struct {
+			bench          string
+			kind           swarm.SchedKind
+			cores          int
+			taskq, commitq int
+		}
+		var cfgs []cfgPoint
+		for _, b := range benches {
+			for _, k := range kinds {
+				for _, c := range cores {
+					for _, tq := range taskqs {
+						for _, cq := range commitqs {
+							cfgs = append(cfgs, cfgPoint{b, k, c, tq, cq})
+						}
+					}
+				}
+			}
+		}
+		scaled := swarm.ScaledConfig()
+		effective := func(v, def int) int {
+			if v > 0 {
+				return v
+			}
+			return def
+		}
+		runProfile := *profile && len(cfgs) == 1
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		per := make([][]*swarm.Stats, len(cfgs))
+		var jobs []runner.Job
+		for i, c := range cfgs {
+			c := c
+			sr := exp.SeedRun{
+				Point:    exp.Point{Name: c.bench, Kind: c.kind, Cores: c.cores, Profile: runProfile},
+				Scale:    scale,
+				BaseSeed: *seed,
+				Seeds:    *seeds,
+				Shards:   *seedShards,
+				Validate: *validate,
+				Store:    resultStore,
+			}
+			if c.taskq > 0 || c.commitq > 0 {
+				// Custom queue dimensions change the simulated machine:
+				// never store-tiered, executed inline (same rule as the
+				// per-replica sweep path).
+				sr.Exec = func(_ context.Context, wseed int64, _ exp.Point) (*swarm.Stats, error) {
+					inst, err := bench.Build(c.bench, scale, wseed)
+					if err != nil {
+						return nil, err
+					}
+					cfg := swarm.ScaledConfig().WithCores(c.cores)
+					cfg.Scheduler = c.kind
+					cfg.Profile = runProfile
+					if c.taskq > 0 {
+						cfg.TaskQPerCore = c.taskq
+					}
+					if c.commitq > 0 {
+						cfg.CommitQPerCore = c.commitq
+					}
+					st, err := inst.Prog.Run(cfg)
+					if err != nil {
+						return nil, err
+					}
+					if *validate {
+						if err := inst.Validate(); err != nil {
+							return nil, fmt.Errorf("validation failed: %w", err)
+						}
+					}
+					return st, nil
+				}
+			}
+			per[i] = make([]*swarm.Stats, *seeds)
+			jobs = append(jobs, sr.ShardJobs(ctx, per[i])...)
+		}
+		done := 0
+		results := runner.Sweep(ctx, jobs, runner.Options{
+			Parallel: *parallel,
+			Seed:     *seed,
+			OnResult: func(res runner.Result) {
+				done++
+				fmt.Fprintf(os.Stderr, "swarmsim: [%d/%d] %s\n", done, len(jobs), res.Name)
+			},
+		})
+		if err := runner.FirstErr(results); err != nil {
+			fatal(err)
+		}
+		merged := make([]runner.Result, len(cfgs))
+		for i, c := range cfgs {
+			st, err := swarm.MergeStats(per[i])
+			if err != nil {
+				fatal(err)
+			}
+			merged[i] = runner.Result{
+				Index: i,
+				Name:  fmt.Sprintf("%s/%v/%dc", c.bench, c.kind, c.cores),
+				Labels: map[string]string{
+					"bench":   c.bench,
+					"sched":   c.kind.String(),
+					"cores":   strconv.Itoa(c.cores),
+					"taskq":   strconv.Itoa(effective(c.taskq, scaled.TaskQPerCore)),
+					"commitq": strconv.Itoa(effective(c.commitq, scaled.CommitQPerCore)),
+					"seeds":   strconv.Itoa(*seeds),
+					"seed":    strconv.FormatInt(*seed, 10),
+					"scale":   scale.String(),
+				},
+				Seed:  *seed,
+				Stats: st,
+			}
+		}
+		if !output.ReplacesHuman() {
+			fmt.Printf("%-10s %-9s %6s %6s %7s %5s %14s %20s %10s %8s %12s\n",
+				"bench", "sched", "cores", "taskq", "commitq", "seeds", "cycles", "cycles/seed", "tasks", "aborts", "flits")
+			for _, r := range merged {
+				st := r.Stats
+				sm := st.SeedSummary
+				fmt.Printf("%-10s %-9s %6s %6s %7s %5s %14d %14.0f±%-5.0f %10d %8d %12d\n",
+					r.Labels["bench"], r.Labels["sched"], r.Labels["cores"],
+					r.Labels["taskq"], r.Labels["commitq"], r.Labels["seeds"],
+					st.Cycles, sm.Cycles.Mean, sm.Cycles.Stddev,
+					st.CommittedTasks, st.AbortedAttempts, st.TotalTraffic())
+			}
+		}
+		if output.Enabled() {
+			if err := output.Write(runner.Collect(merged, mergedFields...)); err != nil {
+				fatal(err)
+			}
+		}
+		return
 	}
 
 	// point is one sweep coordinate, enumerated in deterministic order.

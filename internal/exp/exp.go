@@ -53,6 +53,26 @@ type Options struct {
 	// when Exec is set — a pluggable executor (the swarmd service) owns its
 	// own caching tiers.
 	Store *store.Store
+	// Seeds > 1 runs every point as that many seed replicas (workload
+	// seeds ReplicaSeeds(Seed, Seeds)) and caches/exports the fixed-order
+	// merged aggregate, with cross-seed dispersion in SeedSummary. Each
+	// replica is store-tiered under its own per-seed ConfigKey, so raising
+	// Seeds later only runs the seeds not yet on disk. Ignored when Exec
+	// is set: a pluggable executor binds the harness seed.
+	Seeds int
+	// SeedShards bounds the shard jobs the Seeds replicas of one point are
+	// partitioned into (0 = one replica per shard). Shard boundaries are a
+	// pure function of (Seeds, SeedShards), so results are byte-identical
+	// at any value.
+	SeedShards int
+}
+
+// seeds returns the effective seed-replica count (minimum 1).
+func (o Options) seeds() int {
+	if o.Seeds > 1 && o.Exec == nil {
+		return o.Seeds
+	}
+	return 1
 }
 
 // gate acquires a bespoke-run slot when a Gate is configured.
@@ -197,6 +217,10 @@ func (r *Runner) runPoint(ctx context.Context, p Point) (*swarm.Stats, error) {
 	if r.opt.Exec != nil {
 		return r.opt.Exec(ctx, p)
 	}
+	if r.opt.seeds() > 1 {
+		merged, _, err := r.seedRun(p).Run(ctx)
+		return merged, err
+	}
 	key := ""
 	if r.opt.Store != nil {
 		key = ConfigKey(r.opt.Scale, r.opt.Seed, p)
@@ -236,6 +260,9 @@ func (r *Runner) Prime(ctx context.Context, points []Point) error {
 	if len(todo) == 0 {
 		return nil
 	}
+	if r.opt.seeds() > 1 {
+		return r.primeSeeds(ctx, todo)
+	}
 	jobs := make([]runner.Job, len(todo))
 	for i, p := range todo {
 		p := p
@@ -258,6 +285,51 @@ func (r *Runner) Prime(ctx context.Context, points []Point) error {
 	}
 	r.mu.Unlock()
 	return runner.FirstErr(results)
+}
+
+// seedRun builds the seed-replica fan-out of one point from the runner's
+// options.
+func (r *Runner) seedRun(p Point) SeedRun {
+	return SeedRun{
+		Point:    p,
+		Scale:    r.opt.Scale,
+		BaseSeed: r.opt.Seed,
+		Seeds:    r.opt.seeds(),
+		Shards:   r.opt.SeedShards,
+		Parallel: r.opt.Parallel,
+		Validate: r.opt.Validate,
+		Store:    r.opt.Store,
+	}
+}
+
+// primeSeeds primes not-yet-cached points in multi-seed mode: every point's
+// seed replicas are partitioned into shard jobs and all points' shards are
+// flattened onto one worker pool, then each point's replicas are merged in
+// fixed seed order. Shard boundaries and merge order are pure functions of
+// the options, so the cached aggregates are byte-identical at any Parallel.
+func (r *Runner) primeSeeds(ctx context.Context, todo []Point) error {
+	per := make([][]*swarm.Stats, len(todo))
+	var jobs []runner.Job
+	for i, p := range todo {
+		per[i] = make([]*swarm.Stats, r.opt.seeds())
+		jobs = append(jobs, r.seedRun(p).ShardJobs(ctx, per[i])...)
+	}
+	results := runner.Sweep(ctx, jobs, runner.Options{Parallel: r.opt.Parallel, Seed: r.opt.Seed})
+	if err := runner.FirstErr(results); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, p := range todo {
+		merged, err := swarm.MergeStats(per[i])
+		if err != nil {
+			return err
+		}
+		key := p.Key()
+		r.cache[key] = merged
+		r.pts[key] = p
+	}
+	return nil
 }
 
 // PrimeGrid is Prime over the cross product names × kinds × cores.
@@ -342,7 +414,13 @@ func ExportSet(points []Point, scale bench.Scale, seed int64, stats func(Point) 
 		if st == nil {
 			continue
 		}
-		rs.Append(PointLabels(p, scale, seed), st.Snapshot())
+		sn := st.Snapshot()
+		if sn.SeedSummary != nil {
+			// Any merged multi-seed record upgrades the set's stamp; pure
+			// v1 sets (every existing golden and cache entry) are untouched.
+			rs.Schema = metrics.SchemaVersionV2
+		}
+		rs.Append(PointLabels(p, scale, seed), sn)
 	}
 	return rs
 }

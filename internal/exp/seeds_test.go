@@ -1,0 +1,213 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"swarmhints/internal/bench"
+	"swarmhints/internal/runner"
+	"swarmhints/swarm"
+)
+
+func TestReplicaSeeds(t *testing.T) {
+	if got := ReplicaSeeds(42, 1); len(got) != 1 || got[0] != 42 {
+		t.Errorf("n=1 must run the base seed itself, got %v", got)
+	}
+	if got := ReplicaSeeds(42, 0); len(got) != 1 || got[0] != 42 {
+		t.Errorf("n=0 must degrade to the base seed, got %v", got)
+	}
+	seeds := ReplicaSeeds(42, 8)
+	if len(seeds) != 8 {
+		t.Fatalf("got %d seeds, want 8", len(seeds))
+	}
+	uniq := map[int64]bool{}
+	for r, s := range seeds {
+		if s != runner.DeriveSeed(42, r) {
+			t.Errorf("replica %d seed %d, want DeriveSeed(42,%d)=%d", r, s, r, runner.DeriveSeed(42, r))
+		}
+		uniq[s] = true
+	}
+	if len(uniq) != 8 {
+		t.Errorf("derived seeds collide: %v", seeds)
+	}
+}
+
+func TestSeedShards(t *testing.T) {
+	cases := []struct {
+		n, shards int
+		want      [][2]int
+	}{
+		{0, 4, nil},
+		{5, 0, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}}, // 0 = per-replica
+		{5, 9, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}}, // clamp to n
+		{5, 2, [][2]int{{0, 3}, {3, 5}}},                         // earlier shards larger
+		{6, 3, [][2]int{{0, 2}, {2, 4}, {4, 6}}},                 // even split
+		{1, 1, [][2]int{{0, 1}}},
+	}
+	for _, tc := range cases {
+		got := SeedShards(tc.n, tc.shards)
+		gb, _ := json.Marshal(got)
+		wb, _ := json.Marshal(tc.want)
+		if !bytes.Equal(gb, wb) {
+			t.Errorf("SeedShards(%d,%d) = %v, want %v", tc.n, tc.shards, got, tc.want)
+		}
+	}
+	// Partitions cover [0, n) contiguously for a spread of shapes.
+	for n := 1; n <= 17; n++ {
+		for shards := 0; shards <= n+1; shards++ {
+			spans := SeedShards(n, shards)
+			at := 0
+			for _, sp := range spans {
+				if sp[0] != at || sp[1] <= sp[0] {
+					t.Fatalf("SeedShards(%d,%d): bad span %v at offset %d", n, shards, sp, at)
+				}
+				at = sp[1]
+			}
+			if at != n {
+				t.Fatalf("SeedShards(%d,%d) covers [0,%d), want [0,%d)", n, shards, at, n)
+			}
+		}
+	}
+}
+
+// seedMergeJSON runs one point as a seeds-replica fan-out with the given
+// sharding/parallelism and returns the merged snapshot's JSON bytes.
+func seedMergeJSON(t *testing.T, seeds, shards, parallel int) []byte {
+	t.Helper()
+	sr := SeedRun{
+		Point:    Point{Name: "des", Kind: swarm.LBHints, Cores: 4},
+		Scale:    bench.Tiny,
+		BaseSeed: 7,
+		Seeds:    seeds,
+		Shards:   shards,
+		Parallel: parallel,
+		Validate: true,
+	}
+	merged, per, err := sr.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != seeds {
+		t.Fatalf("fan-out returned %d per-seed results, want %d", len(per), seeds)
+	}
+	b, err := json.Marshal(merged.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSeedMergeDifferentialMatrix is the merge-determinism acceptance
+// test: the merged aggregate of an N-seed fan-out is byte-identical for
+// every shard count and worker count, including the sequential
+// single-engine reference (Shards=1, Parallel=1). Pinned by name in the CI
+// race job next to TestCalqDifferentialMatrix.
+func TestSeedMergeDifferentialMatrix(t *testing.T) {
+	const seeds = 8
+	want := seedMergeJSON(t, seeds, 1, 1) // sequential reference
+	for _, shards := range []int{1, 2, 3, seeds} {
+		for _, parallel := range []int{1, 4} {
+			if shards == 1 && parallel == 1 {
+				continue
+			}
+			got := seedMergeJSON(t, seeds, shards, parallel)
+			if !bytes.Equal(got, want) {
+				t.Errorf("shards=%d parallel=%d: merged snapshot differs from sequential reference", shards, parallel)
+			}
+		}
+	}
+}
+
+// TestSeedMergeRoundTrip: a merged aggregate survives the snapshot →
+// StatsFromSnapshot → snapshot round trip byte-identically — the property
+// that makes store-served and gateway-reassembled merged records
+// indistinguishable from freshly computed ones.
+func TestSeedMergeRoundTrip(t *testing.T) {
+	sr := SeedRun{
+		Point:    Point{Name: "des", Kind: swarm.Hints, Cores: 4},
+		Scale:    bench.Tiny,
+		BaseSeed: 1,
+		Seeds:    4,
+		Validate: true,
+	}
+	merged, _, err := sr.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := merged.Snapshot()
+	if sn.SeedSummary == nil || sn.SeedSummary.Seeds != 4 {
+		t.Fatalf("merged snapshot SeedSummary = %+v, want Seeds=4", sn.SeedSummary)
+	}
+	direct, err := json.Marshal(sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := json.Marshal(swarm.StatsFromSnapshot(sn).Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct, rebuilt) {
+		t.Error("merged snapshot changed through the StatsFromSnapshot round trip")
+	}
+}
+
+// TestSeedReplicaMatchesPlainRun: seed replica r of a multi-seed fan-out
+// computes exactly what a plain single-seed run at DeriveSeed(base, r)
+// computes — the property that lets per-seed records share store keys with
+// ordinary runs.
+func TestSeedReplicaMatchesPlainRun(t *testing.T) {
+	p := Point{Name: "des", Kind: swarm.Hints, Cores: 4}
+	sr := SeedRun{Point: p, Scale: bench.Tiny, BaseSeed: 7, Seeds: 3, Validate: true}
+	_, per, err := sr.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, seed := range ReplicaSeeds(7, 3) {
+		plain, err := RunPoint(p, bench.Tiny, seed, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, _ := json.Marshal(plain.Snapshot())
+		rb, _ := json.Marshal(per[r].Snapshot())
+		if !bytes.Equal(pb, rb) {
+			t.Errorf("replica %d (seed %d) differs from the plain run at that seed", r, seed)
+		}
+	}
+}
+
+// TestRunnerSeedsExport: the Options-level path — a Runner with Seeds set
+// exports v2-stamped records whose bytes are identical at any SeedShards
+// and Parallel value.
+func TestRunnerSeedsExport(t *testing.T) {
+	run := func(shards, parallel int) []byte {
+		o := DefaultOptions(bench.Tiny)
+		o.Cores = []int{4}
+		o.Seeds = 3
+		o.SeedShards = shards
+		o.Parallel = parallel
+		r := NewRunner(o)
+		points := []Point{
+			{Name: "des", Kind: swarm.Random, Cores: 4},
+			{Name: "des", Kind: swarm.Hints, Cores: 4},
+		}
+		if err := r.Prime(context.Background(), points); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := r.Export().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := run(1, 1)
+	if !bytes.Contains(want, []byte(`"seedSummary"`)) || !bytes.Contains(want, []byte("swarmhints.metrics.v2")) {
+		t.Fatal("multi-seed export lacks the v2 schema stamp or seedSummary block")
+	}
+	for _, tc := range [][2]int{{0, 4}, {2, 2}, {3, 8}} {
+		if got := run(tc[0], tc[1]); !bytes.Equal(got, want) {
+			t.Errorf("SeedShards=%d Parallel=%d: export differs from sequential reference", tc[0], tc[1])
+		}
+	}
+}

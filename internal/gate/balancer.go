@@ -7,16 +7,30 @@ import (
 	"time"
 )
 
+// Outcome classifies one attempt for the balancer's learning signal.
+type Outcome int
+
+// Outcomes. OutcomeCanceled is an attempt abandoned by the caller (the
+// request context died mid-attempt): it releases the attempt's slot in
+// load-tracking balancers but must not move any score — a client
+// disconnect says nothing about the replica's health or speed.
+const (
+	OutcomeSuccess Outcome = iota
+	OutcomeFailure
+	OutcomeCanceled
+)
+
 // Balancer decides which replica serves the next point and learns from
 // every attempt's outcome. Implementations are safe for concurrent use;
-// every Pick is followed by exactly one Observe for the attempt it chose,
-// which is what lets load-tracking balancers keep an outstanding count.
+// every Pick is followed by exactly one Observe for the attempt it chose
+// (whatever its outcome), which is what lets load-tracking balancers keep
+// an outstanding count.
 type Balancer interface {
 	// Pick chooses one replica index among candidates (never empty).
 	Pick(candidates []int) int
-	// Observe reports the outcome of one attempt on replica i: its
-	// latency and whether it succeeded.
-	Observe(i int, latency time.Duration, ok bool)
+	// Observe reports the outcome of one attempt on replica i and its
+	// latency.
+	Observe(i int, latency time.Duration, o Outcome)
 	// Scores snapshots the per-replica desirability signal (higher is
 	// better), for the swarmgate_replica_score gauge.
 	Scores() []float64
@@ -94,10 +108,13 @@ func (a *adaptive) Pick(candidates []int) int {
 	return candidates[len(candidates)-1]
 }
 
-func (a *adaptive) Observe(i int, latency time.Duration, ok bool) {
+func (a *adaptive) Observe(i int, latency time.Duration, o Outcome) {
+	if o == OutcomeCanceled {
+		return // no pheromone signal either way
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if !ok {
+	if o == OutcomeFailure {
 		a.score[i] *= failDecay
 		if a.score[i] < scoreMin {
 			a.score[i] = scoreMin
@@ -172,13 +189,15 @@ func (p *p2c) Pick(candidates []int) int {
 	return pick
 }
 
-func (p *p2c) Observe(i int, latency time.Duration, ok bool) {
+func (p *p2c) Observe(i int, latency time.Duration, o Outcome) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// Every outcome — canceled included — returns the outstanding slot the
+	// Pick took; only successes feed the latency signal.
 	if p.out[i] > 0 {
 		p.out[i]--
 	}
-	if ok {
+	if o == OutcomeSuccess {
 		lat := latency.Seconds()
 		if p.lat[i] == 0 {
 			p.lat[i] = lat
@@ -214,6 +233,6 @@ func (r *roundRobin) Pick(candidates []int) int {
 	return pick
 }
 
-func (r *roundRobin) Observe(int, time.Duration, bool) {}
+func (r *roundRobin) Observe(int, time.Duration, Outcome) {}
 
 func (r *roundRobin) Scores() []float64 { return nil }

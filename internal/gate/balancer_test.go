@@ -11,7 +11,7 @@ func picks(b Balancer, candidates []int, n int) map[int]int {
 	for i := 0; i < n; i++ {
 		p := b.Pick(candidates)
 		counts[p]++
-		b.Observe(p, time.Millisecond, true)
+		b.Observe(p, time.Millisecond, OutcomeSuccess)
 	}
 	return counts
 }
@@ -41,7 +41,7 @@ func TestAdaptiveDecaysOnFailureAndRecovers(t *testing.T) {
 	a := newAdaptive(2, 1)
 	// Replica 1 fails repeatedly: score collapses to the floor.
 	for i := 0; i < 10; i++ {
-		a.Observe(1, time.Millisecond, false)
+		a.Observe(1, time.Millisecond, OutcomeFailure)
 	}
 	s := a.Scores()
 	if s[1] != scoreMin {
@@ -63,10 +63,10 @@ func TestAdaptiveDecaysOnFailureAndRecovers(t *testing.T) {
 	}
 	// ...but equal-speed successes on replica 1 restore its score.
 	for i := 0; i < 5; i++ {
-		a.Observe(0, time.Millisecond, true)
+		a.Observe(0, time.Millisecond, OutcomeSuccess)
 	}
 	for i := 0; i < 50; i++ {
-		a.Observe(1, time.Millisecond, true)
+		a.Observe(1, time.Millisecond, OutcomeSuccess)
 	}
 	if s := a.Scores(); s[1] < 0.9 {
 		t.Fatalf("recovered replica score = %v, want ~1", s[1])
@@ -78,8 +78,8 @@ func TestAdaptiveDecaysOnFailureAndRecovers(t *testing.T) {
 func TestAdaptiveFavorsFasterReplica(t *testing.T) {
 	a := newAdaptive(2, 1)
 	for i := 0; i < 50; i++ {
-		a.Observe(0, time.Millisecond, true)
-		a.Observe(1, 4*time.Millisecond, true)
+		a.Observe(0, time.Millisecond, OutcomeSuccess)
+		a.Observe(1, 4*time.Millisecond, OutcomeSuccess)
 	}
 	s := a.Scores()
 	if s[0] <= s[1] {
@@ -97,9 +97,9 @@ func TestAdaptiveFavorsFasterReplica(t *testing.T) {
 func TestAdaptiveScoreBounds(t *testing.T) {
 	a := newAdaptive(1, 1)
 	// A replica absurdly faster than the reference must cap, not diverge.
-	a.Observe(0, time.Second, true) // sets the reference high
+	a.Observe(0, time.Second, OutcomeSuccess) // sets the reference high
 	for i := 0; i < 200; i++ {
-		a.Observe(0, time.Nanosecond, true)
+		a.Observe(0, time.Nanosecond, OutcomeSuccess)
 	}
 	if s := a.Scores()[0]; s > scoreMax {
 		t.Fatalf("score %v exceeds cap %v", s, scoreMax)
@@ -118,7 +118,7 @@ func TestP2CPrefersLessLoaded(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		pick := p.Pick([]int{0, 1})
 		counts[pick]++
-		p.Observe(pick, time.Millisecond, true) // return the slot
+		p.Observe(pick, time.Millisecond, OutcomeSuccess) // return the slot
 	}
 	if counts[1] < 90 {
 		t.Fatalf("picks under load: %v, want nearly all on the idle replica", counts)
@@ -130,7 +130,7 @@ func TestP2CSingleCandidate(t *testing.T) {
 	if got := p.Pick([]int{2}); got != 2 {
 		t.Fatalf("pick from singleton = %d, want 2", got)
 	}
-	p.Observe(2, time.Millisecond, true)
+	p.Observe(2, time.Millisecond, OutcomeSuccess)
 }
 
 func TestRoundRobinCycles(t *testing.T) {

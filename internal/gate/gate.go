@@ -215,14 +215,36 @@ func (g *Gateway) runPoint(ctx context.Context, rr api.RunRequest) (metrics.Reco
 		lat := time.Since(start)
 		cancel()
 		r.inflight.Add(-1)
+		if err == nil && len(rs.Records) != 1 {
+			// Guard the index below even though the client also rejects
+			// wrong-cardinality responses: a 200 with zero records is a
+			// malformed replica answer, never a reason to panic the sweep
+			// goroutine. Instance-bound, so retry against a different
+			// replica; the replica is reachable, so no health demotion.
+			err = &api.Error{
+				Code:      api.CodeInternal,
+				Message:   fmt.Sprintf("replica returned %d records, want 1", len(rs.Records)),
+				Retryable: true,
+			}
+		}
 		if err == nil {
-			g.bal.Observe(i, lat, true)
+			g.bal.Observe(i, lat, OutcomeSuccess)
 			r.healthy.Store(true) // in-band recovery
 			g.points.Add(1)
 			return rs.Records[0], r.url, nil
 		}
+		if cerr := ctx.Err(); cerr != nil {
+			// The caller's own context died mid-attempt: whatever the
+			// client returned, this attempt tells us nothing about the
+			// replica. Release the balancer slot without a score signal,
+			// leave failed counters and health untouched, and report the
+			// cancellation — a client disconnect must not poison
+			// pheromone scores or demote a healthy replica.
+			g.bal.Observe(i, lat, OutcomeCanceled)
+			return metrics.Record{}, "", api.Errorf(api.CodeShuttingDown, "%v", cerr)
+		}
 		ae := api.AsError(err)
-		g.bal.Observe(i, lat, false)
+		g.bal.Observe(i, lat, OutcomeFailure)
 		r.failed.Add(1)
 		if ae.Code == api.CodeUnavailable || ae.Code == api.CodeShuttingDown {
 			// Unreachable or draining: stop sending new points here until

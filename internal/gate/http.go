@@ -14,6 +14,7 @@ import (
 	"swarmhints/internal/exp"
 	"swarmhints/internal/metrics"
 	"swarmhints/internal/service"
+	"swarmhints/swarm"
 	"swarmhints/swarm/api"
 )
 
@@ -58,6 +59,10 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, aerr)
 		return
 	}
+	if req.Seeds > 1 {
+		g.handleRunSeeds(w, r.Context(), cfg, req.Seeds)
+		return
+	}
 	rec, url, aerr := g.runPoint(r.Context(), pointRequest(cfg.Point, cfg.Scale, cfg.Seed))
 	if aerr != nil {
 		api.WriteError(w, aerr)
@@ -72,6 +77,44 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Swarmgate-Replica", url)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleRunSeeds serves a seeds > 1 run request: the configuration's seed
+// replicas become per-seed /v1/run requests — the same routing unit as a
+// sweep point, balanced, retried, and bounded exactly alike — and the
+// responses are merged in fixed seed order. Each replica executes (and
+// store-caches) one seed under its ordinary per-seed key, so the merged
+// answer is byte-identical to a single swarmd serving the same seeds
+// request, and incremental when the fan-out is repeated with more seeds.
+func (g *Gateway) handleRunSeeds(w http.ResponseWriter, ctx context.Context, cfg service.Config, n int) {
+	seeds := exp.ReplicaSeeds(cfg.Seed, n)
+	rrs := make([]api.RunRequest, len(seeds))
+	for i, s := range seeds {
+		rrs[i] = pointRequest(cfg.Point, cfg.Scale, s)
+	}
+	recs, aerr := g.runAllPoints(ctx, rrs)
+	if aerr != nil {
+		api.WriteError(w, aerr)
+		return
+	}
+	per := make([]*swarm.Stats, len(recs))
+	for i := range recs {
+		per[i] = swarm.StatsFromSnapshot(recs[i].Snapshot)
+	}
+	merged, err := swarm.MergeStats(per)
+	if err != nil {
+		api.WriteError(w, api.Errorf(api.CodeInternal, "%v", err))
+		return
+	}
+	rs := exp.ExportSet([]exp.Point{cfg.Point}, cfg.Scale, cfg.Seed,
+		func(exp.Point) *swarm.Stats { return merged })
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		api.WriteError(w, api.Errorf(api.CodeInternal, "%v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(buf.Bytes())
 }
 

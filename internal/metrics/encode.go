@@ -12,6 +12,13 @@ import (
 // any field removal or meaning change; additions are backward-compatible.
 const SchemaVersion = "swarmhints.metrics.v1"
 
+// SchemaVersionV2 marks result sets whose records may carry the optional
+// seedSummary block of a multi-seed merged run. v2 is a strict superset of
+// v1: every v1 reader that ignores unknown optional fields parses v2, and
+// single-seed output keeps the v1 stamp so existing goldens and caches are
+// byte-unchanged.
+const SchemaVersionV2 = "swarmhints.metrics.v2"
+
 // Format selects a machine-readable encoding.
 type Format string
 
@@ -88,6 +95,12 @@ type Snapshot struct {
 	// Classification is the Fig. 3/6 access profile; present only when the
 	// run collected it (Config.Profile). JSON-only, like PerTile.
 	Classification *AccessClassification `json:"classification,omitempty"`
+
+	// SeedSummary is the cross-seed dispersion block; present only on
+	// snapshots produced by MergeSnapshots over multiple seed replicas.
+	// JSON-only and optional, so single-seed v1 output is byte-unchanged;
+	// result sets whose records carry it are stamped SchemaVersionV2.
+	SeedSummary *SeedSummary `json:"seedSummary,omitempty"`
 
 	PerTile []TileCounters `json:"perTile"`
 }

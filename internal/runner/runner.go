@@ -172,7 +172,13 @@ func Collect(results []Result, fields ...string) *metrics.ResultSet {
 		if r.Err != nil || r.Stats == nil {
 			continue
 		}
-		rs.Append(r.Labels, r.Stats.Snapshot())
+		sn := r.Stats.Snapshot()
+		if sn.SeedSummary != nil {
+			// Multi-seed merged records carry the cross-seed dispersion
+			// block; stamp the set with the schema that declares it.
+			rs.Schema = metrics.SchemaVersionV2
+		}
+		rs.Append(r.Labels, sn)
 	}
 	return rs
 }

@@ -85,6 +85,9 @@ func ParseRun(req api.RunRequest) (Config, *api.Error) {
 	if aerr := checkCores([]int{req.Cores}); aerr != nil {
 		return Config{}, aerr
 	}
+	if req.Seeds < 0 || req.Seeds > api.MaxSeeds {
+		return Config{}, api.Errorf(api.CodeBadRequest, "seeds must be in [0, %d], got %d", api.MaxSeeds, req.Seeds)
+	}
 	return Config{Scale: scale, Seed: seed, Point: exp.Point{
 		Name: req.Bench, Kind: kind, Cores: req.Cores, Profile: req.Profile,
 	}}, nil
@@ -125,7 +128,10 @@ func ParseSweep(req api.SweepRequest) ([]exp.Point, bench.Scale, int64, *api.Err
 
 // handleRun serves POST /v1/run: one configuration, answered from the
 // cache when warm. The response is a single-record result set encoded
-// exactly as the CLI export encodes it.
+// exactly as the CLI export encodes it. seeds > 1 fans the configuration
+// out across the worker fleet as seed replicas — each cached, coalesced,
+// and store-tiered under its own per-seed key — and answers with the
+// merged record.
 func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req api.RunRequest
 	if aerr := api.DecodeRequest(w, r, &req); aerr != nil {
@@ -137,7 +143,15 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, aerr)
 		return
 	}
-	st, src, err := s.Stats(r.Context(), cfg)
+	var st *swarm.Stats
+	var src Source
+	var err error
+	if req.Seeds > 1 {
+		st, err = s.RunSeeds(r.Context(), cfg, req.Seeds)
+		src = SourceMerged
+	} else {
+		st, src, err = s.Stats(r.Context(), cfg)
+	}
 	if err != nil {
 		api.WriteError(w, runError(err))
 		return

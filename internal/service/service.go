@@ -74,6 +74,7 @@ const (
 	SourceStore     Source = "store"     // answered from the persistent on-disk store
 	SourceRun       Source = "run"       // this request executed the simulation
 	SourceCoalesced Source = "coalesced" // attached to another request's in-flight run
+	SourceMerged    Source = "merged"    // merged from a multi-seed fan-out
 )
 
 // flight is one in-progress simulation that duplicate requests attach to.
@@ -271,6 +272,28 @@ func (s *Service) Stats(ctx context.Context, cfg Config) (*swarm.Stats, Source, 
 	close(f.done)
 	fcancel() // flight finished; release its context resources
 	return f.st, src, f.err
+}
+
+// RunSeeds answers one configuration as a merged multi-seed aggregate:
+// the n seed replicas (workload seeds derived from cfg.Seed in replica
+// order) fan out across the worker fleet through Stats — so each replica
+// is cached, coalesced, and store-tiered under its own per-seed key — and
+// are merged in fixed seed order, making the aggregate byte-identical at
+// any worker count and incremental when more seeds are requested later.
+func (s *Service) RunSeeds(ctx context.Context, cfg Config, n int) (*swarm.Stats, error) {
+	sr := exp.SeedRun{
+		Point:    cfg.Point,
+		Scale:    cfg.Scale,
+		BaseSeed: cfg.Seed,
+		Seeds:    n,
+		Parallel: s.opt.Workers,
+		Exec: func(ctx context.Context, seed int64, p exp.Point) (*swarm.Stats, error) {
+			st, _, err := s.Stats(ctx, Config{Scale: cfg.Scale, Seed: seed, Point: p})
+			return st, err
+		},
+	}
+	merged, _, err := sr.Run(ctx)
+	return merged, err
 }
 
 // AcquireSlot blocks until a worker-fleet slot is free (or ctx dies) and

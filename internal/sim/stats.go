@@ -67,6 +67,11 @@ type Stats struct {
 	// Classification is the Fig. 3/6 access profile (nil unless
 	// Config.Profile was set).
 	Classification *Classification
+
+	// SeedSummary is the cross-seed dispersion block (nil unless this
+	// Stats is a MergeStats aggregate over multiple seed replicas). It is
+	// carried verbatim through Snapshot/StatsFromSnapshot, never derived.
+	SeedSummary *metrics.SeedSummary
 }
 
 // TotalTraffic sums flits over all classes.
@@ -192,6 +197,7 @@ func (s *Stats) Snapshot() *metrics.Snapshot {
 		TrafficFracGVT:   s.TrafficFraction(3),
 
 		Classification: cl,
+		SeedSummary:    s.SeedSummary,
 		PerTile:        tiles,
 	}
 }
@@ -253,7 +259,33 @@ func StatsFromSnapshot(sn *metrics.Snapshot) *Stats {
 
 		Tiles:          tiles,
 		Classification: cl,
+		SeedSummary:    sn.SeedSummary,
 	}
+}
+
+// MergeStats folds per-seed runs of one configuration — in canonical seed
+// order — into a single aggregate: counters sum, derived metrics are
+// recomputed from the merged counters, and SeedSummary carries the
+// cross-seed dispersion. It goes through metrics.MergeSnapshots and back
+// through StatsFromSnapshot, so the result round-trips byte-identically:
+// MergeStats(runs).Snapshot() equals the metrics-level merge of the runs'
+// snapshots, whatever sharding produced the inputs.
+func MergeStats(runs []*Stats) (*Stats, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("sim: merge of zero runs")
+	}
+	snaps := make([]*metrics.Snapshot, len(runs))
+	for i, r := range runs {
+		if r == nil {
+			return nil, fmt.Errorf("sim: merge of nil run (index %d)", i)
+		}
+		snaps[i] = r.Snapshot()
+	}
+	merged, err := metrics.MergeSnapshots(snaps)
+	if err != nil {
+		return nil, err
+	}
+	return StatsFromSnapshot(merged), nil
 }
 
 // String gives a compact human-readable summary.

@@ -109,6 +109,26 @@ type Store struct {
 // replicas (processes) and handles (goroutines) never collide.
 var tmpSeq atomic.Uint64
 
+// renameMu serializes the stat → rename → account window of writeFile per
+// record path, across every handle in this process. Without it, two
+// concurrent same-key writers can both observe "no previous record" before
+// either renames, and both count the record — double-counting records and
+// bytes until the next GC resweep. Striped by path hash and package-level
+// (not per-handle) because distinct Store handles on one directory are the
+// common same-key racers. Cross-process writers remain unserialized; that
+// skew is bounded and reconciled exactly by the next sweep, as documented
+// on Counters.
+var renameMu [64]sync.Mutex
+
+// renameLock returns the stripe lock for a record path.
+func renameLock(path string) *sync.Mutex {
+	h := uint32(2166136261)
+	for i := 0; i < len(path); i++ {
+		h = (h ^ uint32(path[i])) * 16777619
+	}
+	return &renameMu[h%uint32(len(renameMu))]
+}
+
 // Open opens (creating if needed) the store rooted at dir. maxBytes caps the
 // resident record bytes (0 = unbounded); the cap is enforced by evicting the
 // least recently read records after writes that exceed it. Open scans the
@@ -353,6 +373,13 @@ func (s *Store) writeFile(path string, rec []byte) error {
 		os.Remove(tmp)
 		return err
 	}
+	// Stat (what did this write replace?), rename, and the counter update
+	// must be one atomic step per path: see renameMu. The accounting is
+	// exact for any number of handles in this process; only other
+	// processes' writes stay invisible until the next sweep.
+	mu := renameLock(path)
+	mu.Lock()
+	defer mu.Unlock()
 	var prev int64
 	hadPrev := false
 	if fi, serr := os.Stat(path); serr == nil {

@@ -267,6 +267,7 @@ func TestConcurrentWritersOneDirectory(t *testing.T) {
 		t.Fatal("handles disagree after concurrent writes")
 	}
 	files := 0
+	var recSize int64
 	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -276,6 +277,9 @@ func TestConcurrentWritersOneDirectory(t *testing.T) {
 			if !strings.HasSuffix(path, ".rec") {
 				t.Errorf("leftover non-record file %s", path)
 			}
+			if fi, ferr := d.Info(); ferr == nil {
+				recSize = fi.Size()
+			}
 		}
 		return nil
 	})
@@ -284,6 +288,91 @@ func TestConcurrentWritersOneDirectory(t *testing.T) {
 	}
 	if files != 1 {
 		t.Fatalf("directory holds %d files, want exactly 1 record", files)
+	}
+
+	// Exact accounting under same-key racers: the stat→rename window is
+	// serialized per path, so across both handles exactly one record — and
+	// exactly its on-disk bytes — is counted, no matter how the 128 writes
+	// interleaved. Before the fix, two writers could both observe "no
+	// previous record" and this sum came out 2 (or more).
+	ca, cb := a.Counters(), b.Counters()
+	if got := ca.Records + cb.Records; got != 1 {
+		t.Errorf("handles count %d records in sum (a=%d b=%d), want exactly 1", got, ca.Records, cb.Records)
+	}
+	if got := ca.Bytes + cb.Bytes; got != recSize {
+		t.Errorf("handles count %d bytes in sum (a=%d b=%d), want exactly %d", got, ca.Bytes, cb.Bytes, recSize)
+	}
+	if ca.Writes != 64 || cb.Writes != 64 {
+		t.Errorf("writes = a:%d b:%d, want 64 each", ca.Writes, cb.Writes)
+	}
+	if ca.WriteErrors != 0 || cb.WriteErrors != 0 {
+		t.Errorf("write errors = a:%d b:%d, want none", ca.WriteErrors, cb.WriteErrors)
+	}
+
+	// Creation races are where the window bites hardest: every writer of a
+	// fresh key stats a path that does not exist yet, so without the
+	// per-path serialization several of them count "new record" for the
+	// same file. Hammer many fresh keys with all writers released at once.
+	const rounds = 64
+	for round := 0; round < rounds; round++ {
+		rkey := fmt.Sprintf("race/%d/mis/LBHints/16/false", round)
+		start := make(chan struct{})
+		for i := 0; i < 16; i++ {
+			s := a
+			if i%2 == 1 {
+				s = b
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if err := s.Put(rkey, payload); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+	}
+	var totalSize int64
+	files = 0
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			files++
+			fi, ferr := d.Info()
+			if ferr != nil {
+				return ferr
+			}
+			totalSize += fi.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 1+rounds {
+		t.Fatalf("directory holds %d files, want %d records", files, 1+rounds)
+	}
+	ca, cb = a.Counters(), b.Counters()
+	if got := ca.Records + cb.Records; got != 1+rounds {
+		t.Errorf("handles count %d records in sum (a=%d b=%d), want exactly %d", got, ca.Records, cb.Records, 1+rounds)
+	}
+	if got := ca.Bytes + cb.Bytes; got != totalSize {
+		t.Errorf("handles count %d bytes in sum (a=%d b=%d), want exactly %d", got, ca.Bytes, cb.Bytes, totalSize)
+	}
+
+	// A sweep re-synchronizes each handle to the directory's exact
+	// contents — the cross-process reconciliation path.
+	for _, s := range []*store.Store{a, b} {
+		if _, err := s.GC(); err != nil {
+			t.Fatal(err)
+		}
+		if c := s.Counters(); c.Records != 1+rounds || c.Bytes != totalSize {
+			t.Errorf("post-GC counters records=%d bytes=%d, want %d/%d", c.Records, c.Bytes, 1+rounds, totalSize)
+		}
 	}
 }
 

@@ -48,6 +48,9 @@ func (p Point) Run(scale string, seed int64) RunRequest {
 	}
 }
 
+// MaxSeeds bounds the seed-replica fan-out of one run request.
+const MaxSeeds = 4096
+
 // RunRequest is the body of POST /v1/run: one simulation configuration.
 type RunRequest struct {
 	Bench   string `json:"bench"`
@@ -56,6 +59,13 @@ type RunRequest struct {
 	Scale   string `json:"scale,omitempty"` // tiny|small|full; default small
 	Seed    *int64 `json:"seed,omitempty"`  // default 7 (the harness default)
 	Profile bool   `json:"profile,omitempty"`
+	// Seeds > 1 fans the configuration out as that many seed replicas
+	// (workload seeds derived from Seed in replica order) and answers with
+	// the single merged record: counters summed, derived metrics recomputed,
+	// cross-seed dispersion in the snapshot's seedSummary block (schema
+	// swarmhints.metrics.v2). 0 or 1 is a plain single-seed run. Servers
+	// predating this field reject it (unknown fields fail loudly).
+	Seeds int `json:"seeds,omitempty"`
 }
 
 // SweepRequest is the body of POST /v1/sweep: a configuration grid

@@ -73,7 +73,12 @@ func (c *Client) Run(ctx context.Context, req RunRequest) (*metrics.ResultSet, e
 		return nil, &Error{Code: CodeUnavailable, Message: fmt.Sprintf("bad run response: %v", err), Retryable: true}
 	}
 	if len(rs.Records) != 1 {
-		return nil, &Error{Code: CodeUnavailable, Message: fmt.Sprintf("run response carries %d records, want 1", len(rs.Records)), Retryable: true}
+		// The server was reachable and answered 200, so this is not
+		// "unavailable" — it is a malformed answer from this instance
+		// (a correct server returns exactly one record). Retryable so a
+		// proxy re-routes to a different replica, but explicitly so: a
+		// plain Errorf(CodeInternal) would mark it deterministic.
+		return nil, &Error{Code: CodeInternal, Message: fmt.Sprintf("run response carries %d records, want 1", len(rs.Records)), Retryable: true}
 	}
 	return &rs, nil
 }

@@ -82,6 +82,17 @@ func NewResultSet(fields ...string) *ResultSet { return metrics.NewResultSet(fie
 // results.
 func StatsFromSnapshot(sn *Snapshot) *Stats { return sim.StatsFromSnapshot(sn) }
 
+// SeedSummary is the cross-seed dispersion block of a merged multi-seed
+// snapshot (mean/min/max/stddev per headline metric).
+type SeedSummary = metrics.SeedSummary
+
+// MergeStats folds per-seed runs of one configuration — given in canonical
+// seed order — into a single aggregate: counters sum, derived metrics are
+// recomputed from the merged counters (never averaged), and SeedSummary
+// carries cross-seed dispersion. The merge round-trips byte-identically
+// through Snapshot/StatsFromSnapshot.
+func MergeStats(runs []*Stats) (*Stats, error) { return sim.MergeStats(runs) }
+
 // Scheduler kinds (Sec. II-C and VI of the paper).
 const (
 	Random      = sched.Random
