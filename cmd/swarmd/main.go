@@ -19,6 +19,8 @@
 //	swarmd -addr :8080 -workers 8 -cache 4096
 //	swarmd -addr 127.0.0.1:0        # ephemeral port, printed on startup
 //	swarmd -store /var/lib/swarmd -store-max-bytes 2g   # persistent result store
+//	swarmd -max-pending 512                             # admission bound (429 "overloaded" past it)
+//	swarmd -fault 'store.write=fail,prob:0.01' -fault-admin   # chaos testing (see README)
 //
 // With -store, lookups go memory-LRU → disk store → coalesced compute with
 // write-through on fill, so a restarted swarmd — or a fleet of replicas
@@ -55,9 +57,16 @@ func main() {
 		drain         = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 		storeDir      = flag.String("store", "", "persistent result-store directory, shareable between replicas (empty = memory-only)")
 		storeMaxBytes = flag.String("store-max-bytes", "", "result-store size cap, e.g. 512m or 2g (empty/0 = unbounded); oldest-read records are evicted")
+		maxPending    = flag.Int("max-pending", 256, "admission bound on in-flight work requests; excess is shed with a retryable 429 (0 = unlimited)")
+		faultSpec     = flag.String("fault", "", "fault-injection site spec, e.g. 'store.write=fail,prob:0.01; swarmd.run.slow=latency:200ms,every:10' (testing only)")
+		faultSeed     = flag.Int64("fault-seed", 1, "fault-injection PRNG seed (fire patterns are reproducible for a fixed seed)")
+		faultAdmin    = flag.Bool("fault-admin", false, "mount the /v1/faults runtime fault-injection admin endpoint (testing only)")
 	)
 	flag.Parse()
 
+	if err := cliutil.ArmFaults(*faultSpec, *faultSeed); err != nil {
+		log.Fatalf("swarmd: %v", err)
+	}
 	st, err := cliutil.OpenStore(*storeDir, *storeMaxBytes)
 	if err != nil {
 		log.Fatalf("swarmd: %v", err)
@@ -68,7 +77,10 @@ func main() {
 			st.Dir(), c.Records, c.Bytes, st.MaxBytes())
 	}
 
-	svc := service.New(service.Options{Workers: *workers, CacheEntries: *cache, Validate: *validate, Store: st})
+	svc := service.New(service.Options{
+		Workers: *workers, CacheEntries: *cache, Validate: *validate, Store: st,
+		MaxPending: *maxPending, FaultAdmin: *faultAdmin,
+	})
 	srv := &http.Server{
 		Handler: svc.Handler(),
 		// Requests inherit the service lifetime: Close cancels them all.

@@ -22,6 +22,7 @@
 //	swarmgate -replicas ... -balancer p2c          # power-of-two-choices
 //	swarmgate -replicas ... -balancer roundrobin   # no-signal baseline
 //	swarmgate -replicas ... -point-timeout 2m -retries 5
+//	swarmgate -replicas ... -breaker-threshold 3 -hedge=false   # failure-hardening knobs
 //
 // The default balancer is "adaptive": pheromone-style scores, reinforced
 // by success latency and decayed multiplicatively on error/timeout, with
@@ -57,24 +58,41 @@ func main() {
 		pointTO     = flag.Duration("point-timeout", 5*time.Minute, "per-attempt timeout for one point (0 = none)")
 		retries     = flag.Int("retries", 3, "extra attempts for a retryable point failure, each on a different replica")
 		concurrency = flag.Int("concurrency", 0, "max points in flight per request (0 = 4 x replicas)")
-		probe       = flag.Duration("probe", time.Second, "background /healthz probe interval (negative = disabled)")
+		probe       = flag.Duration("probe", time.Second, "background /healthz probe interval (negative = disabled; the interval is jittered +/-25%)")
+		probeTO     = flag.Duration("probe-timeout", 0, "per-probe timeout (0 = 2s)")
 		seed        = flag.Int64("seed", 1, "balancer PRNG seed (routing is reproducible for a fixed seed)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+		hedge       = flag.Bool("hedge", true, "hedge straggling points with a second attempt on another replica after the fleet's ~p95 latency")
+		brkThresh   = flag.Int("breaker-threshold", 0, "consecutive failures that open a replica's circuit breaker (0 = 5, negative = disabled)")
+		brkCooldown = flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 2s)")
+		retryWait   = flag.Duration("retry-backoff", 0, "base retry backoff, grown exponentially with full jitter (0 = 5ms, negative = disabled)")
+		faultSpec   = flag.String("fault", "", "fault-injection site spec, e.g. 'gate.attempt=fail,prob:0.01' (testing only)")
+		faultSeed   = flag.Int64("fault-seed", 1, "fault-injection PRNG seed (fire patterns are reproducible for a fixed seed)")
+		faultAdmin  = flag.Bool("fault-admin", false, "mount the /v1/faults runtime fault-injection admin endpoint (testing only)")
 	)
 	flag.Parse()
 
+	if err := cliutil.ArmFaults(*faultSpec, *faultSeed); err != nil {
+		log.Fatalf("swarmgate: %v", err)
+	}
 	urls, err := cliutil.ParseReplicas(*replicas)
 	if err != nil {
 		log.Fatalf("swarmgate: %v", err)
 	}
 	g, err := gate.New(gate.Options{
-		Replicas:      urls,
-		Balancer:      *balancer,
-		PointTimeout:  *pointTO,
-		Retries:       *retries,
-		Concurrency:   *concurrency,
-		ProbeInterval: *probe,
-		Seed:          *seed,
+		Replicas:         urls,
+		Balancer:         *balancer,
+		PointTimeout:     *pointTO,
+		Retries:          *retries,
+		Concurrency:      *concurrency,
+		ProbeInterval:    *probe,
+		ProbeTimeout:     *probeTO,
+		Seed:             *seed,
+		Hedge:            *hedge,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCooldown,
+		RetryBackoff:     *retryWait,
+		FaultAdmin:       *faultAdmin,
 	})
 	if err != nil {
 		log.Fatalf("swarmgate: %v", err)

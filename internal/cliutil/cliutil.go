@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"swarmhints/internal/bench"
+	"swarmhints/internal/fault"
 	"swarmhints/internal/metrics"
 	"swarmhints/internal/store"
 	"swarmhints/swarm"
@@ -163,6 +164,21 @@ func OpenStore(dir, maxBytes string) (*store.Store, error) {
 		return nil, err
 	}
 	return store.Open(dir, limit)
+}
+
+// ArmFaults resolves the shared -fault/-fault-seed flag pair swarmd and
+// swarmgate expose: seed fault.Default for reproducible draws, then arm
+// the semicolon-separated site spec (empty = leave everything disarmed,
+// the zero-overhead production state).
+func ArmFaults(spec string, seed int64) error {
+	fault.SetDefaultSeed(seed)
+	if spec == "" {
+		return nil
+	}
+	if err := fault.Default.ArmSpec(spec); err != nil {
+		return fmt.Errorf("-fault: %w", err)
+	}
+	return nil
 }
 
 // ParseScale parses an input-scale name (case-insensitive).

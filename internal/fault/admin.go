@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// AdminHandler serves the test-only /v1/faults admin surface over a
+// registry:
+//
+//	GET  /v1/faults   current site statuses (armed plans, hit/fired counts)
+//	POST /v1/faults   {"spec":"site=opt,..."} arms sites; {"reset":true}
+//	                  disarms everything (spec applies after reset when both
+//	                  are present)
+//
+// Servers register it only behind an explicit opt-in flag (-fault-admin):
+// it exists so chaos harnesses can drive a live fleet's injection without
+// rebuilding, never for production exposure.
+func AdminHandler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/faults", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, r.Snapshot())
+	})
+	mux.HandleFunc("POST /v1/faults", func(w http.ResponseWriter, req *http.Request) {
+		var body struct {
+			Spec  string `json:"spec"`
+			Reset bool   `json:"reset"`
+		}
+		dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&body); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		if body.Reset {
+			r.Reset()
+		}
+		if body.Spec != "" {
+			if err := r.ArmSpec(body.Spec); err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, r.Snapshot())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Scoped resolves a site under an optional scope prefix: scope "" returns
+// the site for name itself; scope "r1" returns the site "r1.<name>". It
+// lets a test arm one replica's sites in a process hosting several
+// replicas (every in-process instance shares one registry).
+func Scoped(r *Registry, scope, name string) *Site {
+	if scope != "" {
+		name = scope + "." + name
+	}
+	return r.Site(name)
+}

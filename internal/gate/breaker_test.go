@@ -1,0 +1,167 @@
+package gate
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b := newBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		b.failure()
+		if !b.ready() {
+			t.Fatalf("breaker open after %d failures, threshold 3", i+1)
+		}
+	}
+	b.failure()
+	if b.ready() {
+		t.Fatal("breaker still admitting traffic after threshold failures")
+	}
+	if st, opens := b.snapshot(); st != breakerOpen || opens != 1 {
+		t.Fatalf("state=%v opens=%d, want open/1", st, opens)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := newBreaker(3, time.Hour)
+	b.failure()
+	b.failure()
+	b.success()
+	b.failure()
+	b.failure()
+	if !b.ready() {
+		t.Fatal("success did not reset the consecutive-failure streak")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := newBreaker(1, 10*time.Millisecond)
+	b.failure() // trip
+	if b.ready() {
+		t.Fatal("open breaker admitted traffic inside the cooldown")
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !b.ready() {
+		t.Fatal("expired open breaker should admit a probe")
+	}
+	if !b.enter() {
+		t.Fatal("first post-cooldown attempt should be the probe")
+	}
+	// With the probe in flight, nobody else gets through.
+	if b.ready() || b.enter() {
+		t.Fatal("second attempt admitted while the probe is in flight")
+	}
+	// A probe verdict of failure re-opens; of success closes.
+	b.failure()
+	if st, opens := b.snapshot(); st != breakerOpen || opens != 2 {
+		t.Fatalf("after failed probe: state=%v opens=%d, want open/2", st, opens)
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !b.enter() {
+		t.Fatal("re-probe not admitted after second cooldown")
+	}
+	b.success()
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatalf("after successful probe: state=%v, want closed", st)
+	}
+	if !b.ready() {
+		t.Fatal("closed breaker should admit traffic")
+	}
+}
+
+func TestBreakerCanceledProbeReleasesSlot(t *testing.T) {
+	b := newBreaker(1, time.Millisecond)
+	b.failure()
+	time.Sleep(5 * time.Millisecond)
+	probe := b.enter()
+	if !probe {
+		t.Fatal("expected the probe slot")
+	}
+	// The probe's attempt was abandoned without a verdict: the slot must
+	// free so the next attempt can probe instead of deadlocking half-open.
+	b.canceled(probe)
+	if !b.enter() {
+		t.Fatal("probe slot not released by canceled()")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(-1, 0) // nil breaker
+	for i := 0; i < 100; i++ {
+		b.failure()
+	}
+	if !b.ready() || b.enter() {
+		t.Fatal("disabled breaker must always admit and never probe")
+	}
+	b.success()
+	b.canceled(false)
+	if st, opens := b.snapshot(); st != breakerClosed || opens != 0 {
+		t.Fatalf("disabled breaker reports state=%v opens=%d", st, opens)
+	}
+}
+
+func TestBackoffDelayBounds(t *testing.T) {
+	g := &Gateway{opt: Options{RetryBackoff: 10 * time.Millisecond, Seed: 1}}
+	g.rng = rand.New(rand.NewSource(1))
+	for a := 1; a <= 10; a++ {
+		cap := 10 * time.Millisecond << uint(a-1)
+		if cap > maxRetryBackoff || cap <= 0 {
+			cap = maxRetryBackoff
+		}
+		for i := 0; i < 50; i++ {
+			d := g.backoffDelay(a)
+			if d < 0 || d >= cap {
+				t.Fatalf("attempt %d: delay %v outside [0, %v)", a, d, cap)
+			}
+		}
+	}
+	g.opt.RetryBackoff = -1
+	if d := g.backoffDelay(3); d != 0 {
+		t.Fatalf("disabled backoff returned %v", d)
+	}
+}
+
+func TestJitteredInterval(t *testing.T) {
+	g := &Gateway{opt: Options{Seed: 1}}
+	g.rng = rand.New(rand.NewSource(1))
+	base := time.Second
+	for i := 0; i < 200; i++ {
+		d := g.jittered(base)
+		if d < 750*time.Millisecond || d >= 1250*time.Millisecond {
+			t.Fatalf("jittered(1s) = %v outside [750ms, 1250ms)", d)
+		}
+	}
+}
+
+func TestHedgeDelayNeedsSamplesAndTracksP95(t *testing.T) {
+	var l latencyEWMA
+	if _, ok := l.hedgeDelay(); ok {
+		t.Fatal("hedge delay available with no samples")
+	}
+	for i := 0; i < hedgeMinSamples; i++ {
+		l.observe(10 * time.Millisecond)
+	}
+	d, ok := l.hedgeDelay()
+	if !ok {
+		t.Fatal("hedge delay unavailable after the sample floor")
+	}
+	// Constant 10ms latencies: mean 10ms, near-zero variance — the delay
+	// sits a hair above the mean, never below it or wildly above.
+	if d < 10*time.Millisecond || d > 20*time.Millisecond {
+		t.Fatalf("hedge delay %v for constant 10ms latencies", d)
+	}
+	// A spread distribution pushes the delay past the mean by ~1.645σ.
+	var wide latencyEWMA
+	for i := 0; i < 50; i++ {
+		if i%2 == 0 {
+			wide.observe(5 * time.Millisecond)
+		} else {
+			wide.observe(15 * time.Millisecond)
+		}
+	}
+	dw, _ := wide.hedgeDelay()
+	if dw <= d/2 || dw > 40*time.Millisecond {
+		t.Fatalf("hedge delay %v for a 5/15ms mixture", dw)
+	}
+}

@@ -19,11 +19,13 @@ package gate
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"swarmhints/internal/fault"
 	"swarmhints/internal/metrics"
 	"swarmhints/swarm/api"
 )
@@ -46,25 +48,55 @@ type Options struct {
 	Concurrency int
 	// ProbeInterval is the background /healthz polling period (0 = 1s;
 	// negative disables the prober — in-band outcomes still maintain
-	// health, and tests drive ProbeOnce directly).
+	// health, and tests drive ProbeOnce directly). Each wait is jittered
+	// ±25% so a fleet of gateways doesn't synchronize its probe bursts.
 	ProbeInterval time.Duration
-	// Seed feeds the randomized balancers' PRNG (default 1).
+	// ProbeTimeout bounds each individual /healthz probe (0 = 2s). A
+	// replica slower than this to answer its health check is treated as
+	// unhealthy even if the TCP connection succeeds.
+	ProbeTimeout time.Duration
+	// BreakerThreshold is how many consecutive failures open a replica's
+	// circuit breaker (0 = 5; negative disables breakers entirely).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker holds attempts off
+	// before admitting a half-open probe (0 = 2s).
+	BreakerCooldown time.Duration
+	// RetryBackoff is the base of the exponential backoff with full jitter
+	// between retry attempts: retry a sleeps Uniform(0, base·2^(a-1)),
+	// capped at maxRetryBackoff (0 = 5ms; negative disables backoff).
+	RetryBackoff time.Duration
+	// Hedge enables straggler hedging: a point still unanswered after the
+	// fleet's ~p95 latency (EWMA-estimated) is raced on a second replica;
+	// the first success wins and the loser is canceled without scoring.
+	Hedge bool
+	// Seed feeds the randomized balancers' PRNG and the jitter source
+	// (default 1).
 	Seed int64
 	// HTTPClient overrides the transport used for replica requests.
 	HTTPClient *http.Client
+	// FaultAdmin mounts the test-only /v1/faults admin endpoint on the
+	// gateway handler. Never enable it on a production-facing listener.
+	FaultAdmin bool
 }
 
-// probeTimeout bounds one background /healthz probe.
-const probeTimeout = 2 * time.Second
+// Retry-backoff bounds.
+const (
+	DefaultRetryBackoff = 5 * time.Millisecond
+	maxRetryBackoff     = 250 * time.Millisecond
+)
+
+// DefaultProbeTimeout bounds one background /healthz probe.
+const DefaultProbeTimeout = 2 * time.Second
 
 // replica is the gateway's view of one swarmd instance.
 type replica struct {
 	url    string
 	client *api.Client
+	brk    *breaker // nil when breakers are disabled
 
 	healthy  atomic.Bool
 	inflight atomic.Int64
-	routed   atomic.Uint64 // attempts routed here (including retries)
+	routed   atomic.Uint64 // attempts routed here (including retries and hedges)
 	retried  atomic.Uint64 // attempts routed here that were retries of a failure elsewhere
 	failed   atomic.Uint64 // attempts that failed here
 }
@@ -74,13 +106,21 @@ type Gateway struct {
 	opt      Options
 	replicas []*replica
 	bal      Balancer
+	lat      latencyEWMA // fleet-wide success latency, drives the hedge delay
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // jitter source (probe interval, retry backoff)
+
+	siteAttempt *fault.Site // gate.attempt: fail/delay a client-path attempt
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	sweeps atomic.Uint64
-	points atomic.Uint64
+	sweeps    atomic.Uint64
+	points    atomic.Uint64
+	hedged    atomic.Uint64 // hedge attempts launched
+	hedgeWins atomic.Uint64 // points won by the hedge, not the primary
 }
 
 // New builds a Gateway and starts its health prober (unless disabled).
@@ -100,14 +140,26 @@ func New(opt Options) (*Gateway, error) {
 	if opt.ProbeInterval == 0 {
 		opt.ProbeInterval = time.Second
 	}
+	if opt.ProbeTimeout <= 0 {
+		opt.ProbeTimeout = DefaultProbeTimeout
+	}
 	bal, err := NewBalancer(opt.Balancer, len(opt.Replicas), opt.Seed)
 	if err != nil {
 		return nil, err
 	}
-	g := &Gateway{opt: opt, bal: bal}
+	g := &Gateway{
+		opt:         opt,
+		bal:         bal,
+		rng:         rand.New(rand.NewSource(opt.Seed)),
+		siteAttempt: fault.Default.Site("gate.attempt"),
+	}
 	g.ctx, g.cancel = context.WithCancel(context.Background())
 	for _, u := range opt.Replicas {
-		r := &replica{url: u, client: api.NewClient(u, opt.HTTPClient)}
+		r := &replica{
+			url:    u,
+			client: api.NewClient(u, opt.HTTPClient),
+			brk:    newBreaker(opt.BreakerThreshold, opt.BreakerCooldown),
+		}
 		r.healthy.Store(true) // optimistic: demoted by the first failed probe or attempt
 		g.replicas = append(g.replicas, r)
 	}
@@ -129,19 +181,54 @@ func (g *Gateway) Close() {
 // it as their BaseContext so Close cancels every in-flight request.
 func (g *Gateway) Context() context.Context { return g.ctx }
 
-// probeLoop polls every replica's /healthz until Close.
+// probeLoop polls every replica's /healthz until Close. Each wait is an
+// independently jittered interval (±25%) rather than a fixed ticker, so
+// several gateways probing the same fleet — or one gateway restarted in a
+// crash loop — spread their probe bursts instead of synchronizing them.
 func (g *Gateway) probeLoop() {
 	defer g.wg.Done()
-	t := time.NewTicker(g.opt.ProbeInterval)
-	defer t.Stop()
 	for {
+		t := time.NewTimer(g.jittered(g.opt.ProbeInterval))
 		select {
 		case <-g.ctx.Done():
+			t.Stop()
 			return
 		case <-t.C:
 			g.ProbeOnce(g.ctx)
 		}
 	}
+}
+
+// jittered scales d by a uniform factor in [0.75, 1.25).
+func (g *Gateway) jittered(d time.Duration) time.Duration {
+	g.rngMu.Lock()
+	f := 0.75 + 0.5*g.rng.Float64()
+	g.rngMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// backoffDelay returns the sleep before retry attempt a (1-based):
+// exponential with full jitter, Uniform(0, min(base·2^(a-1), cap)). Full
+// jitter — drawing from the whole interval, not around its midpoint —
+// maximally decorrelates retries that failed together, which is exactly
+// the situation after a replica crash dumps its in-flight points back on
+// the fleet at once.
+func (g *Gateway) backoffDelay(a int) time.Duration {
+	base := g.opt.RetryBackoff
+	if base < 0 {
+		return 0
+	}
+	if base == 0 {
+		base = DefaultRetryBackoff
+	}
+	d := base << uint(a-1)
+	if d <= 0 || d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	g.rngMu.Lock()
+	f := g.rng.Float64()
+	g.rngMu.Unlock()
+	return time.Duration(f * float64(d))
 }
 
 // ProbeOnce probes every replica's /healthz once, concurrently, and
@@ -154,7 +241,7 @@ func (g *Gateway) ProbeOnce(ctx context.Context) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			pctx, cancel := context.WithTimeout(ctx, probeTimeout)
+			pctx, cancel := context.WithTimeout(ctx, g.opt.ProbeTimeout)
 			defer cancel()
 			r.healthy.Store(r.client.Healthz(pctx) == nil)
 		}()
@@ -162,22 +249,30 @@ func (g *Gateway) ProbeOnce(ctx context.Context) {
 	wg.Wait()
 }
 
-// pick chooses the replica for the next attempt: healthy replicas first,
-// excluding the one that just failed whenever an alternative exists, and
-// degrading to "anyone" rather than refusing to route — a wrongly-drained
-// fleet self-heals through in-band successes.
+// pick chooses the replica for the next attempt: healthy replicas whose
+// circuit breaker admits traffic first, then any healthy replica, then
+// anyone — excluding the one that just failed whenever an alternative
+// exists, and degrading rather than refusing to route, so a wrongly-
+// drained (or fully tripped) fleet self-heals through in-band successes.
 func (g *Gateway) pick(exclude int) int {
-	var healthy, all []int
+	var admitted, healthy, all []int
 	for i, r := range g.replicas {
 		if i == exclude {
 			continue
 		}
 		all = append(all, i)
-		if r.healthy.Load() {
-			healthy = append(healthy, i)
+		if !r.healthy.Load() {
+			continue
+		}
+		healthy = append(healthy, i)
+		if r.brk.ready() {
+			admitted = append(admitted, i)
 		}
 	}
-	cands := healthy
+	cands := admitted
+	if len(cands) == 0 {
+		cands = healthy
+	}
 	if len(cands) == 0 {
 		cands = all
 	}
@@ -187,10 +282,10 @@ func (g *Gateway) pick(exclude int) int {
 	return g.bal.Pick(cands)
 }
 
-// runPoint routes one point: pick a replica, execute with the per-attempt
-// timeout, and on a retryable failure try again against a different
-// replica, up to the retry bound. It returns the replica that served the
-// point alongside the record.
+// runPoint routes one point: pick a replica, execute the (possibly hedged)
+// attempt, and on a retryable failure back off with full jitter and try
+// again against a different replica, up to the retry bound. It returns the
+// replica that served the point alongside the record.
 func (g *Gateway) runPoint(ctx context.Context, rr api.RunRequest) (metrics.Record, string, *api.Error) {
 	attempts := g.opt.Retries + 1
 	var lastErr *api.Error
@@ -199,93 +294,224 @@ func (g *Gateway) runPoint(ctx context.Context, rr api.RunRequest) (metrics.Reco
 		if err := ctx.Err(); err != nil {
 			return metrics.Record{}, "", api.Errorf(api.CodeShuttingDown, "%v", err)
 		}
-		i := g.pick(last)
-		r := g.replicas[i]
-		r.routed.Add(1)
 		if a > 0 {
-			r.retried.Add(1)
-		}
-		r.inflight.Add(1)
-		actx, cancel := ctx, context.CancelFunc(func() {})
-		if g.opt.PointTimeout > 0 {
-			actx, cancel = context.WithTimeout(ctx, g.opt.PointTimeout)
-		}
-		start := time.Now()
-		rs, err := r.client.Run(actx, rr)
-		lat := time.Since(start)
-		cancel()
-		r.inflight.Add(-1)
-		if err == nil && len(rs.Records) != 1 {
-			// Guard the index below even though the client also rejects
-			// wrong-cardinality responses: a 200 with zero records is a
-			// malformed replica answer, never a reason to panic the sweep
-			// goroutine. Instance-bound, so retry against a different
-			// replica; the replica is reachable, so no health demotion.
-			err = &api.Error{
-				Code:      api.CodeInternal,
-				Message:   fmt.Sprintf("replica returned %d records, want 1", len(rs.Records)),
-				Retryable: true,
+			if d := g.backoffDelay(a); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return metrics.Record{}, "", api.Errorf(api.CodeShuttingDown, "%v", ctx.Err())
+				case <-t.C:
+				}
 			}
 		}
-		if err == nil {
-			g.bal.Observe(i, lat, OutcomeSuccess)
-			r.healthy.Store(true) // in-band recovery
-			g.points.Add(1)
-			return rs.Records[0], r.url, nil
+		i := g.pick(last)
+		rec, idx, ae := g.attempt(ctx, rr, i, a > 0)
+		if ae == nil {
+			return rec, g.replicas[idx].url, nil
 		}
 		if cerr := ctx.Err(); cerr != nil {
-			// The caller's own context died mid-attempt: whatever the
-			// client returned, this attempt tells us nothing about the
-			// replica. Release the balancer slot without a score signal,
-			// leave failed counters and health untouched, and report the
-			// cancellation — a client disconnect must not poison
-			// pheromone scores or demote a healthy replica.
-			g.bal.Observe(i, lat, OutcomeCanceled)
+			// The caller's own context died mid-attempt: the attempt told
+			// us nothing about the replica (it was observed as Canceled,
+			// not Failure) — report the cancellation.
 			return metrics.Record{}, "", api.Errorf(api.CodeShuttingDown, "%v", cerr)
-		}
-		ae := api.AsError(err)
-		g.bal.Observe(i, lat, OutcomeFailure)
-		r.failed.Add(1)
-		if ae.Code == api.CodeUnavailable || ae.Code == api.CodeShuttingDown {
-			// Unreachable or draining: stop sending new points here until
-			// a probe (or an in-band success) revives it.
-			r.healthy.Store(false)
 		}
 		if !ae.Retryable {
 			// Deterministic failure: every replica would answer the same.
-			return metrics.Record{}, r.url, ae
+			url := ""
+			if idx >= 0 {
+				url = g.replicas[idx].url
+			}
+			return metrics.Record{}, url, ae
 		}
 		lastErr = ae
-		last = i
+		if idx >= 0 {
+			last = idx
+		}
 	}
 	return metrics.Record{}, "", lastErr
+}
+
+// attempt executes one routing attempt of a point against the primary
+// replica, optionally racing a hedge replica when the primary straggles
+// past the fleet's estimated p95 latency. The first success wins and
+// settles all scoring for its replica; the loser is canceled and observed
+// as OutcomeCanceled — no score movement, no failure counter, no breaker
+// or health verdict — because losing a race says nothing about a replica's
+// health. It returns the winning record and replica index, or the first
+// real failure (and its replica index, -1 if none is attributable).
+func (g *Gateway) attempt(ctx context.Context, rr api.RunRequest, primary int, retry bool) (metrics.Record, int, *api.Error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels the loser the moment the winner returns
+
+	type outcome struct {
+		idx int
+		rec metrics.Record
+		err *api.Error
+		won bool
+	}
+	// Buffered for both launches: a loser settling after runPoint moved on
+	// must never block its goroutine forever.
+	results := make(chan outcome, 2)
+	var won atomic.Bool
+
+	launch := func(idx int, hedge bool) {
+		r := g.replicas[idx]
+		r.routed.Add(1)
+		if retry {
+			r.retried.Add(1)
+		}
+		if hedge {
+			g.hedged.Add(1)
+		}
+		probe := r.brk.enter()
+		r.inflight.Add(1)
+		go func() {
+			defer r.inflight.Add(-1)
+			cctx, ccancel := actx, context.CancelFunc(func() {})
+			if g.opt.PointTimeout > 0 {
+				cctx, ccancel = context.WithTimeout(actx, g.opt.PointTimeout)
+			}
+			defer ccancel()
+			start := time.Now()
+			var rs *metrics.ResultSet
+			var err error
+			if f, ok := g.siteAttempt.Fire(); ok {
+				if err = f.Sleep(cctx); err == nil {
+					err = f.Err
+				}
+			}
+			if err == nil {
+				rs, err = r.client.Run(cctx, rr)
+			}
+			lat := time.Since(start)
+			if err == nil && len(rs.Records) != 1 {
+				// Guard the index below even though the client also rejects
+				// wrong-cardinality responses: a 200 with zero records is a
+				// malformed replica answer, never a reason to panic the
+				// sweep goroutine. Instance-bound, so retry against a
+				// different replica; the replica is reachable, so no health
+				// demotion.
+				err = &api.Error{
+					Code:      api.CodeInternal,
+					Message:   fmt.Sprintf("replica returned %d records, want 1", len(rs.Records)),
+					Retryable: true,
+				}
+			}
+			switch {
+			case err == nil:
+				if won.CompareAndSwap(false, true) {
+					g.bal.Observe(idx, lat, OutcomeSuccess)
+					r.brk.success()
+					r.healthy.Store(true) // in-band recovery
+					g.lat.observe(lat)
+					g.points.Add(1)
+					if hedge {
+						g.hedgeWins.Add(1)
+					}
+					results <- outcome{idx: idx, rec: rs.Records[0], won: true}
+					return
+				}
+				// Both raced legs succeeded; the sibling won. Identical
+				// records either way (determinism), so this one is only a
+				// slot release.
+				g.bal.Observe(idx, lat, OutcomeCanceled)
+				r.brk.canceled(probe)
+				results <- outcome{idx: idx}
+			case ctx.Err() != nil || actx.Err() != nil:
+				// The caller disconnected, or the sibling won and canceled
+				// this leg: either way the attempt tells us nothing about
+				// the replica. Release the balancer slot without a score
+				// signal, leave failed counters, breaker, and health
+				// untouched — a disconnect must not poison pheromone scores
+				// or demote a healthy replica.
+				g.bal.Observe(idx, lat, OutcomeCanceled)
+				r.brk.canceled(probe)
+				results <- outcome{idx: idx, err: api.Errorf(api.CodeShuttingDown, "%v", err)}
+			default:
+				ae := api.AsError(err)
+				g.bal.Observe(idx, lat, OutcomeFailure)
+				r.failed.Add(1)
+				r.brk.failure()
+				if ae.Code == api.CodeUnavailable || ae.Code == api.CodeShuttingDown {
+					// Unreachable or draining: stop sending new points here
+					// until a probe (or an in-band success) revives it.
+					r.healthy.Store(false)
+				}
+				results <- outcome{idx: idx, err: ae}
+			}
+		}()
+	}
+
+	launch(primary, false)
+	pending := 1
+	var hedgeC <-chan time.Time
+	if g.opt.Hedge && len(g.replicas) > 1 {
+		if d, ok := g.lat.hedgeDelay(); ok {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			hedgeC = t.C
+		}
+	}
+	var firstErr *api.Error
+	errIdx := -1
+	for pending > 0 {
+		select {
+		case <-hedgeC:
+			hedgeC = nil // hedge at most once per attempt
+			if j := g.pick(primary); j != primary {
+				launch(j, true)
+				pending++
+			}
+		case o := <-results:
+			pending--
+			if o.won {
+				return o.rec, o.idx, nil
+			}
+			if o.err != nil && firstErr == nil {
+				firstErr, errIdx = o.err, o.idx
+			}
+		}
+	}
+	if firstErr == nil { // unreachable: a non-winner always carries an error
+		firstErr = api.Errorf(api.CodeInternal, "attempt settled without an outcome")
+	}
+	return metrics.Record{}, errIdx, firstErr
 }
 
 // Counters is a point-in-time snapshot of the gateway's operational
 // counters, keyed by replica URL.
 type Counters struct {
-	Routed   map[string]uint64
-	Retried  map[string]uint64
-	Failed   map[string]uint64
-	Inflight map[string]int64
-	Healthy  map[string]bool
-	Scores   map[string]float64
+	Routed       map[string]uint64
+	Retried      map[string]uint64
+	Failed       map[string]uint64
+	Inflight     map[string]int64
+	Healthy      map[string]bool
+	Scores       map[string]float64
+	BreakerState map[string]string // closed | open | half-open
+	BreakerOpens map[string]uint64 // lifetime breaker trips
 
-	Points uint64 // points served across all requests
-	Sweeps uint64 // sweep requests accepted
+	Points    uint64 // points served across all requests
+	Sweeps    uint64 // sweep requests accepted
+	Hedged    uint64 // hedge attempts launched against stragglers
+	HedgeWins uint64 // points whose hedge finished before the primary
 }
 
 // Counters snapshots the operational counters.
 func (g *Gateway) Counters() Counters {
 	c := Counters{
-		Routed:   make(map[string]uint64, len(g.replicas)),
-		Retried:  make(map[string]uint64, len(g.replicas)),
-		Failed:   make(map[string]uint64, len(g.replicas)),
-		Inflight: make(map[string]int64, len(g.replicas)),
-		Healthy:  make(map[string]bool, len(g.replicas)),
-		Scores:   make(map[string]float64, len(g.replicas)),
-		Points:   g.points.Load(),
-		Sweeps:   g.sweeps.Load(),
+		Routed:       make(map[string]uint64, len(g.replicas)),
+		Retried:      make(map[string]uint64, len(g.replicas)),
+		Failed:       make(map[string]uint64, len(g.replicas)),
+		Inflight:     make(map[string]int64, len(g.replicas)),
+		Healthy:      make(map[string]bool, len(g.replicas)),
+		Scores:       make(map[string]float64, len(g.replicas)),
+		BreakerState: make(map[string]string, len(g.replicas)),
+		BreakerOpens: make(map[string]uint64, len(g.replicas)),
+		Points:       g.points.Load(),
+		Sweeps:       g.sweeps.Load(),
+		Hedged:       g.hedged.Load(),
+		HedgeWins:    g.hedgeWins.Load(),
 	}
 	scores := g.bal.Scores()
 	for i, r := range g.replicas {
@@ -294,6 +520,9 @@ func (g *Gateway) Counters() Counters {
 		c.Failed[r.url] = r.failed.Load()
 		c.Inflight[r.url] = r.inflight.Load()
 		c.Healthy[r.url] = r.healthy.Load()
+		st, opens := r.brk.snapshot()
+		c.BreakerState[r.url] = st.String()
+		c.BreakerOpens[r.url] = opens
 		if scores != nil {
 			c.Scores[r.url] = scores[i]
 		} else {
@@ -319,9 +548,26 @@ func (g *Gateway) PromMetrics() []metrics.PromMetric {
 	for u, n := range c.Inflight {
 		inflight[u] = float64(n)
 	}
+	// 0 = closed, 0.5 = half-open, 1 = open: "how much traffic is this
+	// breaker holding off" on one gauge.
+	brkOpen := make(map[string]float64, len(c.BreakerState))
+	for u, st := range c.BreakerState {
+		switch st {
+		case "open":
+			brkOpen[u] = 1
+		case "half-open":
+			brkOpen[u] = 0.5
+		default:
+			brkOpen[u] = 0
+		}
+	}
 	return []metrics.PromMetric{
 		metrics.PromSingle("swarmgate_points_total", "Points served across all requests.", "counter", float64(c.Points)),
 		metrics.PromSingle("swarmgate_sweeps_total", "Sweep requests accepted.", "counter", float64(c.Sweeps)),
+		metrics.PromSingle("swarmgate_hedged_total", "Hedge attempts launched against straggling points.", "counter", float64(c.Hedged)),
+		metrics.PromSingle("swarmgate_hedge_wins_total", "Points whose hedge finished before the primary.", "counter", float64(c.HedgeWins)),
+		metrics.PromPerLabel("swarmgate_replica_breaker_opens_total", "Circuit-breaker trips per replica.", "replica", c.BreakerOpens),
+		metrics.PromPerLabelGauge("swarmgate_replica_breaker_open", "Breaker position per replica (0 closed, 0.5 half-open, 1 open).", "replica", brkOpen),
 		metrics.PromPerLabel("swarmgate_replica_routed_total", "Attempts routed to each replica (retries included).", "replica", c.Routed),
 		metrics.PromPerLabel("swarmgate_replica_retried_total", "Retry attempts routed to each replica after a failure elsewhere.", "replica", c.Retried),
 		metrics.PromPerLabel("swarmgate_replica_failed_total", "Attempts that failed on each replica.", "replica", c.Failed),

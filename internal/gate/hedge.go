@@ -1,0 +1,63 @@
+package gate
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Hedging parameters.
+const (
+	// hedgeMinSamples is how many successes the latency tracker needs
+	// before hedging activates — with no distribution estimate, a hedge
+	// delay would be a guess.
+	hedgeMinSamples = 8
+	// hedgeAlpha is the EWMA weight of one success in the mean/variance.
+	hedgeAlpha = 0.2
+	// hedgeMinDelay floors the hedge delay so sub-millisecond fleets don't
+	// hedge every point.
+	hedgeMinDelay = time.Millisecond
+)
+
+// latencyEWMA tracks the fleet-wide success-latency distribution as an
+// exponentially weighted mean and variance, and derives the hedge delay:
+// mean + 1.645σ, the ~p95 of a normal approximation. A point still
+// unanswered past that delay is a straggler worth racing — the hedge fires
+// for roughly the slowest one-in-twenty points, bounding the duplicate
+// work hedging adds.
+type latencyEWMA struct {
+	mu   sync.Mutex
+	n    int
+	mean float64 // seconds
+	vr   float64 // EWMA of squared deviation from the running mean
+}
+
+// observe folds one success latency into the estimate.
+func (l *latencyEWMA) observe(d time.Duration) {
+	s := d.Seconds()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.n++
+	if l.n == 1 {
+		l.mean = s
+		return
+	}
+	diff := s - l.mean
+	l.mean += hedgeAlpha * diff
+	l.vr = (1-hedgeAlpha)*l.vr + hedgeAlpha*diff*diff
+}
+
+// hedgeDelay returns how long to wait before racing a second replica, and
+// whether enough samples exist to hedge at all.
+func (l *latencyEWMA) hedgeDelay() (time.Duration, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n < hedgeMinSamples {
+		return 0, false
+	}
+	d := time.Duration((l.mean + 1.645*math.Sqrt(l.vr)) * float64(time.Second))
+	if d < hedgeMinDelay {
+		d = hedgeMinDelay
+	}
+	return d, true
+}

@@ -12,6 +12,7 @@ import (
 	"swarmhints/internal/bench"
 	"swarmhints/internal/cliutil"
 	"swarmhints/internal/exp"
+	"swarmhints/internal/fault"
 	"swarmhints/internal/metrics"
 	"swarmhints/internal/service"
 	"swarmhints/swarm"
@@ -33,6 +34,9 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/experiments/{id}", g.handleExperiment)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	if g.opt.FaultAdmin {
+		mux.Handle("/v1/faults", fault.AdminHandler(fault.Default))
+	}
 	return mux
 }
 

@@ -12,6 +12,7 @@ import (
 	"swarmhints/internal/bench"
 	"swarmhints/internal/cliutil"
 	"swarmhints/internal/exp"
+	"swarmhints/internal/fault"
 	"swarmhints/internal/metrics"
 	"swarmhints/internal/runner"
 	"swarmhints/swarm"
@@ -24,16 +25,47 @@ import (
 // plain-text http.Error bodies on /v1 endpoints), and NDJSON streams carry
 // the api framing — header, records, completion trailer.
 
-// Handler returns the service's HTTP API.
+// Handler returns the service's HTTP API. The work-bearing endpoints pass
+// through the admission bound (admit); health, metrics, and the registry
+// listing never shed — an overloaded replica must still answer its prober.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/run", s.handleRun)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/run", s.admit(s.handleRun))
+	mux.HandleFunc("POST /v1/sweep", s.admit(s.handleSweep))
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
-	mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
+	mux.HandleFunc("POST /v1/experiments/{id}", s.admit(s.handleExperiment))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opt.FaultAdmin {
+		mux.Handle("/v1/faults", fault.AdminHandler(fault.Default))
+	}
 	return mux
+}
+
+// admit is the bounded-admission gate in front of every work-bearing
+// endpoint. A request beyond Options.MaxPending in-progress peers — or one
+// the swarmd.overload fault site rejects — is shed immediately with the
+// retryable 429 overloaded envelope (Retry-After: 1), so a burst degrades
+// into fast, routable rejections instead of an unbounded queue. The worker
+// semaphore still bounds execution; this bounds waiting.
+func (s *Service) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := s.pending.Add(1)
+		defer s.pending.Add(-1)
+		if f, ok := s.siteOverload.Fire(); ok {
+			_ = f.Sleep(r.Context())
+			s.shed.Add(1)
+			api.WriteError(w, api.Errorf(api.CodeOverloaded, "server overloaded (injected)"))
+			return
+		}
+		if max := s.opt.MaxPending; max > 0 && n > int64(max) {
+			s.shed.Add(1)
+			api.WriteError(w, api.Errorf(api.CodeOverloaded,
+				"server at admission bound (%d requests in progress)", max))
+			return
+		}
+		h(w, r)
+	}
 }
 
 // checkCores rejects core counts the simulated machine cannot be built
@@ -141,6 +173,16 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 	cfg, aerr := ParseRun(req)
 	if aerr != nil {
 		api.WriteError(w, aerr)
+		return
+	}
+	if f, ok := s.siteSlow.Fire(); ok {
+		if err := f.Sleep(r.Context()); err != nil {
+			api.WriteError(w, runError(err))
+			return
+		}
+	}
+	if f, ok := s.siteErr.Fire(); ok && f.Err != nil {
+		api.WriteError(w, runError(f.Err))
 		return
 	}
 	var st *swarm.Stats
@@ -317,6 +359,21 @@ func (s *Service) streamSweep(w http.ResponseWriter, ctx context.Context, points
 			}
 			lines[res.Index] = line
 			for next < len(points) && lines[next] != nil {
+				// Chaos hook: a fired stall site freezes the stream mid-line
+				// (Latency) or kills it without the trailer (Fail) — the
+				// truncation clients must detect and the gateway must absorb.
+				if f, ok := s.siteStall.Fire(); ok {
+					if err := f.Sleep(ctx); err != nil {
+						streamErr = err
+						cancel()
+						return
+					}
+					if f.Err != nil {
+						streamErr = f.Err
+						cancel()
+						return
+					}
+				}
 				if _, err := w.Write(lines[next]); err != nil {
 					streamErr = err
 					cancel()
@@ -490,10 +547,17 @@ func writeNDJSON(w io.Writer, rs *metrics.ResultSet) error {
 // runError maps an execution failure to its wire error: cancellations and
 // deadline hits mean this instance is draining or gave up — retryable
 // against another replica — while everything else is a deterministic
-// failure a retry would reproduce.
+// failure a retry would reproduce. Injected faults are the exception to
+// "internal is final": the failure is a property of this instance's
+// injection plan, not the configuration, so they stay retryable and the
+// gateway routes around them.
 func runError(err error) *api.Error {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return api.Errorf(api.CodeShuttingDown, "%v", err)
 	}
-	return api.Errorf(api.CodeInternal, "%v", err)
+	e := api.Errorf(api.CodeInternal, "%v", err)
+	if errors.Is(err, fault.ErrInjected) {
+		e.Retryable = true
+	}
+	return e
 }

@@ -21,6 +21,7 @@ import (
 
 	"swarmhints/internal/bench"
 	"swarmhints/internal/exp"
+	"swarmhints/internal/fault"
 	"swarmhints/internal/metrics"
 	"swarmhints/internal/store"
 	"swarmhints/swarm"
@@ -57,6 +58,20 @@ type Options struct {
 	// results are written through, and a restarted (or sibling) swarmd on
 	// the same directory answers repeats with zero engine runs.
 	Store *store.Store
+	// MaxPending bounds admission on the work-bearing endpoints (/v1/run,
+	// /v1/sweep, /v1/experiments/{id}): a request arriving while MaxPending
+	// are already in progress is shed with 429 overloaded instead of joining
+	// an unbounded queue. 0 disables shedding (the worker semaphore still
+	// bounds execution, but queues grow without limit).
+	MaxPending int
+	// FaultScope prefixes this instance's fault-site names ("r1" resolves
+	// "r1.swarmd.run.slow"), so tests hosting several in-process replicas —
+	// which all share fault.Default — can target one. Production leaves it
+	// empty.
+	FaultScope string
+	// FaultAdmin mounts the test-only /v1/faults admin endpoint on the
+	// service handler. Never enable it on a production-facing listener.
+	FaultAdmin bool
 }
 
 // DefaultOptions returns the standard service configuration: GOMAXPROCS
@@ -101,9 +116,11 @@ type Counters struct {
 	Hits      uint64
 	Misses    uint64
 	Coalesced uint64
-	Queued    int64 // requests waiting for a worker slot right now
-	InFlight  int64 // simulations executing right now
-	Cached    int   // entries resident in the LRU
+	Queued    int64  // requests waiting for a worker slot right now
+	InFlight  int64  // simulations executing right now
+	Cached    int    // entries resident in the LRU
+	Pending   int64  // admitted work-bearing requests in progress right now
+	Shed      uint64 // requests rejected 429 at the admission bound
 
 	RunsByBench    map[string]uint64 // completed simulations per benchmark
 	ExperimentRuns map[string]uint64 // POST /v1/experiments/{id} invocations
@@ -126,6 +143,16 @@ type Service struct {
 	coalesced atomic.Uint64
 	queued    atomic.Int64
 	inflight  atomic.Int64
+	pending   atomic.Int64  // admitted work-bearing requests in progress
+	shed      atomic.Uint64 // requests rejected at the admission bound
+
+	// Fault-injection sites (internal/fault), resolved once at New under
+	// opt.FaultScope. Disarmed — the production state — each costs one
+	// atomic load where it is wired in.
+	siteSlow     *fault.Site // swarmd.run.slow: delay before serving a run
+	siteErr      *fault.Site // swarmd.run.err: fail a run with an injected 500
+	siteStall    *fault.Site // swarmd.stream.stall: stall/kill a sweep mid-NDJSON
+	siteOverload *fault.Site // swarmd.overload: force the admission bound shut
 
 	mu      sync.Mutex
 	cache   *lru
@@ -152,6 +179,11 @@ func New(opt Options) *Service {
 		flights: make(map[string]*flight),
 		runs:    make(map[string]uint64),
 		expRuns: make(map[string]uint64),
+
+		siteSlow:     fault.Scoped(fault.Default, opt.FaultScope, "swarmd.run.slow"),
+		siteErr:      fault.Scoped(fault.Default, opt.FaultScope, "swarmd.run.err"),
+		siteStall:    fault.Scoped(fault.Default, opt.FaultScope, "swarmd.stream.stall"),
+		siteOverload: fault.Scoped(fault.Default, opt.FaultScope, "swarmd.overload"),
 	}
 }
 
@@ -372,6 +404,8 @@ func (s *Service) Counters() Counters {
 		Queued:         s.queued.Load(),
 		InFlight:       s.inflight.Load(),
 		Cached:         cached,
+		Pending:        s.pending.Load(),
+		Shed:           s.shed.Load(),
 		RunsByBench:    runs,
 		ExperimentRuns: expRuns,
 	}
@@ -385,6 +419,13 @@ func (s *Service) Counters() Counters {
 // runs memory-only.
 func (s *Service) Store() *store.Store { return s.opt.Store }
 
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // PromMetrics renders the operational counters as Prometheus metric
 // families for the /metrics endpoint. The store families appear only when
 // the persistent tier is configured.
@@ -397,6 +438,8 @@ func (s *Service) PromMetrics() []metrics.PromMetric {
 		metrics.PromSingle("swarmd_cache_entries", "Results resident in the LRU cache.", "gauge", float64(c.Cached)),
 		metrics.PromSingle("swarmd_queue_depth", "Requests waiting for a worker-fleet slot.", "gauge", float64(c.Queued)),
 		metrics.PromSingle("swarmd_inflight_runs", "Simulations executing right now.", "gauge", float64(c.InFlight)),
+		metrics.PromSingle("swarmd_pending_requests", "Admitted work-bearing requests in progress.", "gauge", float64(c.Pending)),
+		metrics.PromSingle("swarmd_shed_total", "Requests rejected 429 overloaded at the admission bound.", "counter", float64(c.Shed)),
 		metrics.PromPerLabel("swarmd_runs_total", "Completed simulations by benchmark.", "bench", c.RunsByBench),
 		metrics.PromPerLabel("swarmd_experiment_runs_total", "Experiment endpoint invocations by id.", "id", c.ExperimentRuns),
 	}
@@ -409,7 +452,11 @@ func (s *Service) PromMetrics() []metrics.PromMetric {
 			metrics.PromSingle("swarmd_store_corrupt_total", "Store records rejected as truncated or corrupt (served as misses).", "counter", float64(st.Corrupt)),
 			metrics.PromSingle("swarmd_store_evictions_total", "Store records evicted by the size-cap GC.", "counter", float64(st.Evictions)),
 			metrics.PromSingle("swarmd_store_write_errors_total", "Failed store write-throughs (store degraded to a read tier).", "counter", float64(st.WriteErrors)),
-			metrics.PromSingle("swarmd_store_gc_errors_total", "Failed store collection passes (size cap not being enforced).", "counter", float64(st.GCErrors)),
+			metrics.PromSingle("swarmd_store_gc_errors_total", "Store eviction failures: records the GC pass skipped (size cap enforcement degraded).", "counter", float64(st.GCErrors)),
+			metrics.PromSingle("swarmd_store_quarantined_total", "Corrupt store records quarantined to .bad files.", "counter", float64(st.Quarantined)),
+			metrics.PromSingle("swarmd_store_degraded", "1 while the store is in degraded (read-only) mode.", "gauge", boolGauge(st.Degraded)),
+			metrics.PromSingle("swarmd_store_degraded_trips_total", "Times consecutive write failures tripped the store into degraded mode.", "counter", float64(st.DegradeTrips)),
+			metrics.PromSingle("swarmd_store_degraded_skips_total", "Write-throughs skipped while the store was degraded.", "counter", float64(st.DegradedSkips)),
 			metrics.PromSingle("swarmd_store_bytes", "Resident record bytes in the persistent store.", "gauge", float64(st.Bytes)),
 			metrics.PromSingle("swarmd_store_records", "Resident records in the persistent store.", "gauge", float64(st.Records)),
 		)

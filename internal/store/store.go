@@ -22,6 +22,18 @@
 // (reads touch the record's mtime), until the directory is back under the
 // cap. Stale temporary files left by crashed writers are swept by Open and
 // by every GC pass once they are older than TmpMaxAge.
+//
+// Failure hardening: a record that fails validation is quarantined — renamed
+// to a .bad sibling — so one corrupt file costs one failed validation, not
+// one per lookup forever; the next write-through recreates the record and GC
+// reclaims old quarantine files. A disk that fails writes repeatedly trips
+// the store into a degraded read-only mode after DegradeAfter consecutive
+// write failures: Puts return ErrDegraded without touching the disk (reads
+// still serve), and one probe write per ReprobeInterval is let through to
+// detect recovery — a healed disk re-enables writes on its next probe. Every
+// disk operation passes a fault-injection site (internal/fault: store.read,
+// store.write, store.fsync, store.rename, store.torn), which is how the
+// chaos suite proves all of the above deterministically.
 package store
 
 import (
@@ -43,6 +55,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"swarmhints/internal/fault"
 	"swarmhints/internal/metrics"
 	"swarmhints/swarm"
 )
@@ -65,6 +78,28 @@ const tmpPrefix = ".tmp-"
 // in-flight write safe.
 const TmpMaxAge = time.Hour
 
+// badExt marks quarantined records: a record that failed validation is
+// renamed from <name>.rec to <name>.rec.bad so it stops being re-validated
+// on every lookup while staying on disk for postmortems. GC reclaims
+// quarantine files older than TmpMaxAge.
+const badExt = ".bad"
+
+// Degraded-mode defaults (see Options).
+const (
+	// DefaultDegradeAfter is how many consecutive write failures trip the
+	// store into degraded (read-only) mode when Options.DegradeAfter is 0.
+	DefaultDegradeAfter = 5
+	// DefaultReprobeInterval is how often a degraded store lets one probe
+	// write through to detect disk recovery when Options.ReprobeInterval
+	// is 0.
+	DefaultReprobeInterval = 3 * time.Second
+)
+
+// ErrDegraded is returned by Put while the store is in degraded mode: the
+// disk failed DegradeAfter consecutive writes, so writes are bypassed (the
+// store serves as a read-only tier) until a probe write succeeds.
+var ErrDegraded = errors.New("store: degraded (writes bypassed until a probe write succeeds)")
+
 // Counters is a point-in-time snapshot of the store's operational counters.
 // Hits+Misses equals the lookups served; Corrupt counts the misses (and
 // failed decodes) caused by records that exist but fail validation. Bytes
@@ -73,33 +108,52 @@ const TmpMaxAge = time.Hour
 // replicas sharing a directory may each undercount the other's writes until
 // their next GC.
 type Counters struct {
-	Hits        uint64
-	Misses      uint64
-	Writes      uint64
-	Corrupt     uint64
-	Evictions   uint64
-	WriteErrors uint64
-	GCErrors    uint64 // failed collection passes: the size cap is not being enforced
-	Bytes       int64
-	Records     int64
+	Hits          uint64
+	Misses        uint64
+	Writes        uint64
+	Corrupt       uint64
+	Evictions     uint64
+	WriteErrors   uint64
+	GCErrors      uint64 // failed collection passes and per-record eviction failures
+	Quarantined   uint64 // corrupt records renamed to .bad instead of re-validating forever
+	DegradeTrips  uint64 // times consecutive write failures tripped degraded mode
+	DegradedSkips uint64 // Puts bypassed while degraded (ErrDegraded returned)
+	Degraded      bool   // the store is currently read-only, awaiting a probe-write success
+	Bytes         int64
+	Records       int64
 }
 
 // Store is one handle on a result-store directory. Handles are safe for
 // concurrent use, and any number of handles (in any number of processes) may
 // share one directory.
 type Store struct {
-	dir      string
-	maxBytes int64
+	dir          string
+	maxBytes     int64
+	degradeAfter int
+	reprobe      time.Duration
 
-	hits        atomic.Uint64
-	misses      atomic.Uint64
-	writes      atomic.Uint64
-	corrupt     atomic.Uint64
-	evictions   atomic.Uint64
-	writeErrors atomic.Uint64
-	gcErrors    atomic.Uint64
-	bytes       atomic.Int64
-	records     atomic.Int64
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	writes        atomic.Uint64
+	corrupt       atomic.Uint64
+	evictions     atomic.Uint64
+	writeErrors   atomic.Uint64
+	gcErrors      atomic.Uint64
+	quarantined   atomic.Uint64
+	degradeTrips  atomic.Uint64
+	degradedSkips atomic.Uint64
+	bytes         atomic.Int64
+	records       atomic.Int64
+
+	// Degraded-mode state: consecutive write failures trip degraded; while
+	// set, nextProbe rations one write attempt per reprobe interval.
+	consecWriteFails atomic.Int64
+	degraded         atomic.Bool
+	nextProbe        atomic.Int64 // unix nanos of the next allowed probe write
+
+	// Fault-injection sites on every disk operation (no-ops unless a test
+	// or the -fault flag arms them).
+	siteRead, siteWrite, siteFsync, siteRename, siteTorn, siteGCRemove *fault.Site
 
 	gcMu sync.Mutex // one GC pass at a time per handle
 }
@@ -129,19 +183,58 @@ func renameLock(path string) *sync.Mutex {
 	return &renameMu[h%uint32(len(renameMu))]
 }
 
+// Options tunes a store handle beyond the directory itself.
+type Options struct {
+	// MaxBytes caps the resident record bytes (0 = unbounded).
+	MaxBytes int64
+	// DegradeAfter is how many consecutive write failures trip degraded
+	// (read-only) mode. 0 = DefaultDegradeAfter; negative disables
+	// degraded mode entirely.
+	DegradeAfter int
+	// ReprobeInterval is how often a degraded store lets one probe write
+	// through to detect recovery (0 = DefaultReprobeInterval).
+	ReprobeInterval time.Duration
+	// FaultScope prefixes this handle's fault-site names (fault.Scoped),
+	// so a test hosting several replicas in one process can target one
+	// replica's disk. Empty = the bare store.* sites.
+	FaultScope string
+}
+
 // Open opens (creating if needed) the store rooted at dir. maxBytes caps the
 // resident record bytes (0 = unbounded); the cap is enforced by evicting the
 // least recently read records after writes that exceed it. Open scans the
 // directory once to initialize the byte/record accounting and to sweep
 // stale temporary files left by crashed writers.
 func Open(dir string, maxBytes int64) (*Store, error) {
+	return OpenWith(dir, Options{MaxBytes: maxBytes})
+}
+
+// OpenWith is Open with full Options.
+func OpenWith(dir string, opt Options) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("store: empty directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, maxBytes: maxBytes}
+	if opt.DegradeAfter == 0 {
+		opt.DegradeAfter = DefaultDegradeAfter
+	}
+	if opt.ReprobeInterval <= 0 {
+		opt.ReprobeInterval = DefaultReprobeInterval
+	}
+	s := &Store{
+		dir:          dir,
+		maxBytes:     opt.MaxBytes,
+		degradeAfter: opt.DegradeAfter,
+		reprobe:      opt.ReprobeInterval,
+		siteRead:     fault.Scoped(fault.Default, opt.FaultScope, "store.read"),
+		siteWrite:    fault.Scoped(fault.Default, opt.FaultScope, "store.write"),
+		siteFsync:    fault.Scoped(fault.Default, opt.FaultScope, "store.fsync"),
+		siteRename:   fault.Scoped(fault.Default, opt.FaultScope, "store.rename"),
+		siteTorn:     fault.Scoped(fault.Default, opt.FaultScope, "store.torn"),
+		siteGCRemove: fault.Scoped(fault.Default, opt.FaultScope, "store.gc.remove"),
+	}
 	if _, _, err := s.sweep(0); err != nil {
 		return nil, fmt.Errorf("store: scanning %s: %w", dir, err)
 	}
@@ -282,6 +375,15 @@ func decodeRecord(data []byte, key string) ([]byte, error) {
 // configuration keys never contain newlines; this guards against misuse.
 var errBadKey = errors.New("store: key contains a newline")
 
+// corruptError marks a validation failure — a record that exists but fails
+// decodeRecord — as distinct from an I/O failure. Only validation failures
+// quarantine the file: an injected or transient read error must never
+// banish a healthy record.
+type corruptError struct{ err error }
+
+func (e *corruptError) Error() string { return e.err.Error() }
+func (e *corruptError) Unwrap() error { return e.err }
+
 // read loads and validates the record for key without touching counters.
 // A missing record returns fs.ErrNotExist; anything else invalid returns a
 // descriptive error.
@@ -289,21 +391,33 @@ func (s *Store) read(key string) ([]byte, error) {
 	if strings.ContainsRune(key, '\n') {
 		return nil, errBadKey
 	}
+	if f, ok := s.siteRead.Fire(); ok && f.Err != nil {
+		return nil, f.Err
+	}
 	data, err := os.ReadFile(s.Path(key))
 	if err != nil {
 		return nil, err
 	}
-	return decodeRecord(data, key)
+	payload, err := decodeRecord(data, key)
+	if err != nil {
+		return nil, &corruptError{err}
+	}
+	return payload, nil
 }
 
 // finish translates a read's outcome into counters and the (payload, ok)
 // shape: valid records count a hit and touch the record's read time (the
 // GC's eviction clock); everything else counts a miss, with validation
-// failures additionally counted as corrupt.
+// failures additionally counted as corrupt and the failing file
+// quarantined to a .bad sibling so it is validated once, not forever.
 func (s *Store) finish(key string, payload []byte, err error) ([]byte, bool) {
 	if err != nil {
 		if !errors.Is(err, fs.ErrNotExist) && !errors.Is(err, errBadKey) {
 			s.corrupt.Add(1)
+			var ce *corruptError
+			if errors.As(err, &ce) {
+				s.quarantine(key)
+			}
 		}
 		s.misses.Add(1)
 		return nil, false
@@ -321,22 +435,57 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return s.finish(key, payload, err)
 }
 
+// quarantine renames key's record to its .bad sibling after re-validating
+// under the per-path rename lock — a concurrent Put may have just replaced
+// the corrupt file with a fresh record, which must not be banished. The
+// accounting drops the file like an eviction would; GC reclaims old .bad
+// files by age.
+func (s *Store) quarantine(key string) {
+	path := s.Path(key)
+	mu := renameLock(path)
+	mu.Lock()
+	defer mu.Unlock()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return // already gone (evicted, repaired elsewhere, or racing)
+	}
+	if _, derr := decodeRecord(data, key); derr == nil {
+		return // repaired between the failed read and now
+	}
+	if err := os.Rename(path, path+badExt); err != nil {
+		return // transient; the next failed validation retries
+	}
+	s.quarantined.Add(1)
+	s.records.Add(-1)
+	s.bytes.Add(-int64(len(data)))
+}
+
 // Put writes the payload for key: temp file in the record's directory,
 // sync, atomic rename. An existing record — valid or corrupt — is replaced
 // wholesale, which is also how damaged records are repaired by the next
 // write-through. When the write pushes the store past its size cap, a GC
 // pass runs before returning.
+//
+// While the store is degraded (DegradeAfter consecutive write failures),
+// Put bypasses the disk and returns ErrDegraded, except for one rationed
+// probe write per ReprobeInterval; a probe success lifts the degradation.
 func (s *Store) Put(key string, payload []byte) error {
 	if strings.ContainsRune(key, '\n') {
 		s.writeErrors.Add(1)
 		return errBadKey
 	}
+	if s.degraded.Load() && !s.probeAllowed() {
+		s.degradedSkips.Add(1)
+		return ErrDegraded
+	}
 	rec := encodeRecord(key, payload)
 	path := s.Path(key)
 	if err := s.writeFile(path, rec); err != nil {
 		s.writeErrors.Add(1)
+		s.noteWriteFailure()
 		return fmt.Errorf("store: %w", err)
 	}
+	s.noteWriteSuccess()
 	s.writes.Add(1)
 	if s.maxBytes > 0 && s.bytes.Load() > s.maxBytes {
 		// The record is durably in place; a failed collection pass must not
@@ -349,13 +498,50 @@ func (s *Store) Put(key string, payload []byte) error {
 	return nil
 }
 
+// probeAllowed rations degraded-mode probe writes: at most one attempt per
+// ReprobeInterval wins the CAS and goes to the disk; everyone else bypasses.
+func (s *Store) probeAllowed() bool {
+	now := time.Now().UnixNano()
+	next := s.nextProbe.Load()
+	if now < next {
+		return false
+	}
+	return s.nextProbe.CompareAndSwap(next, now+s.reprobe.Nanoseconds())
+}
+
+// noteWriteFailure advances the consecutive-failure count and trips
+// degraded mode at the threshold.
+func (s *Store) noteWriteFailure() {
+	n := s.consecWriteFails.Add(1)
+	if s.degradeAfter > 0 && n >= int64(s.degradeAfter) && s.degraded.CompareAndSwap(false, true) {
+		s.degradeTrips.Add(1)
+		s.nextProbe.Store(time.Now().Add(s.reprobe).UnixNano())
+	}
+}
+
+// noteWriteSuccess resets the failure streak and lifts degraded mode — a
+// successful probe write is the recovery signal.
+func (s *Store) noteWriteSuccess() {
+	s.consecWriteFails.Store(0)
+	s.degraded.Store(false)
+}
+
 // writeFile is the atomic write: unique temp name (pid + per-handle
 // sequence, so concurrent replicas never collide), sync before rename so a
-// crash after rename cannot leave a hole-filled record.
+// crash after rename cannot leave a hole-filled record. The write, fsync,
+// and rename steps each pass a fault site; the torn site truncates what
+// reaches the disk while the rename still lands — the classic torn write
+// the validation layer must catch.
 func (s *Store) writeFile(path string, rec []byte) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
+	}
+	if f, ok := s.siteWrite.Fire(); ok && f.Err != nil {
+		return f.Err
+	}
+	if _, ok := s.siteTorn.Fire(); ok {
+		rec = rec[:len(rec)/2] // the fired outcome is the truncation itself
 	}
 	tmp := filepath.Join(dir, fmt.Sprintf("%s%d-%d", tmpPrefix, os.Getpid(), tmpSeq.Add(1)))
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
@@ -365,9 +551,17 @@ func (s *Store) writeFile(path string, rec []byte) error {
 	_, err = f.Write(rec)
 	if err == nil {
 		err = f.Sync()
+		if ff, ok := s.siteFsync.Fire(); ok && ff.Err != nil && err == nil {
+			err = ff.Err
+		}
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
+	}
+	if err == nil {
+		if ff, ok := s.siteRename.Fire(); ok && ff.Err != nil {
+			err = ff.Err
+		}
 	}
 	if err != nil {
 		os.Remove(tmp)
@@ -432,17 +626,25 @@ func (s *Store) PutStats(key string, st *swarm.Stats) error {
 // Counters snapshots the operational counters.
 func (s *Store) Counters() Counters {
 	return Counters{
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Writes:      s.writes.Load(),
-		Corrupt:     s.corrupt.Load(),
-		Evictions:   s.evictions.Load(),
-		WriteErrors: s.writeErrors.Load(),
-		GCErrors:    s.gcErrors.Load(),
-		Bytes:       s.bytes.Load(),
-		Records:     s.records.Load(),
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Writes:        s.writes.Load(),
+		Corrupt:       s.corrupt.Load(),
+		Evictions:     s.evictions.Load(),
+		WriteErrors:   s.writeErrors.Load(),
+		GCErrors:      s.gcErrors.Load(),
+		Quarantined:   s.quarantined.Load(),
+		DegradeTrips:  s.degradeTrips.Load(),
+		DegradedSkips: s.degradedSkips.Load(),
+		Degraded:      s.degraded.Load(),
+		Bytes:         s.bytes.Load(),
+		Records:       s.records.Load(),
 	}
 }
+
+// Degraded reports whether the store is currently in degraded (read-only)
+// mode.
+func (s *Store) Degraded() bool { return s.degraded.Load() }
 
 // GC runs one collection pass against the configured cap and returns how
 // many records it evicted. It also re-synchronizes the byte/record
@@ -487,9 +689,11 @@ func (s *Store) sweep(limit int64) (evicted int, total int64, err error) {
 		}
 		name := d.Name()
 		switch {
-		case strings.HasPrefix(name, tmpPrefix):
+		case strings.HasPrefix(name, tmpPrefix), strings.HasSuffix(name, badExt):
+			// Crashed writers' debris and old quarantined records are both
+			// reclaimed by age; fresh .bad files stay for postmortems.
 			if fi, ierr := d.Info(); ierr == nil && fi.ModTime().Before(staleBefore) {
-				_ = os.Remove(path) // crashed writer's debris
+				_ = os.Remove(path)
 			}
 		case strings.HasSuffix(name, recExt):
 			fi, ierr := d.Info()
@@ -517,8 +721,18 @@ func (s *Store) sweep(limit int64) (evicted int, total int64, err error) {
 			if total <= limit {
 				break
 			}
-			if err := os.Remove(r.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
-				continue // transient; next pass retries
+			rmErr := error(nil)
+			if f, ok := s.siteGCRemove.Fire(); ok && f.Err != nil {
+				rmErr = f.Err
+			} else {
+				rmErr = os.Remove(r.path)
+			}
+			if rmErr != nil && !errors.Is(rmErr, fs.ErrNotExist) {
+				// One uncooperative record must not abort the pass: count it
+				// (the cap may be under-enforced) and keep evicting others;
+				// the next pass retries it.
+				s.gcErrors.Add(1)
+				continue
 			}
 			total -= r.size
 			evicted++

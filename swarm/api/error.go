@@ -35,6 +35,11 @@ const (
 	// CodeShuttingDown: the server is draining or the request's work was
 	// canceled; the same request against a live replica can succeed.
 	CodeShuttingDown Code = "shutting_down"
+	// CodeOverloaded: the server's admission bound is full and the request
+	// was shed (HTTP 429 with a Retry-After hint). The work was never
+	// started, so retrying — ideally against a less loaded replica — is
+	// always safe.
+	CodeOverloaded Code = "overloaded"
 	// CodeUnavailable: the server could not be reached at all (synthesized
 	// client-side from transport errors and truncated responses).
 	CodeUnavailable Code = "unavailable"
@@ -54,6 +59,7 @@ var codeStatus = map[Code]int{
 	CodeUnknownExperiment: http.StatusNotFound,
 	CodeBadCores:          http.StatusBadRequest,
 	CodeShuttingDown:      http.StatusServiceUnavailable,
+	CodeOverloaded:        http.StatusTooManyRequests,
 	CodeUnavailable:       http.StatusServiceUnavailable,
 	CodeInternal:          http.StatusInternalServerError,
 }
@@ -62,7 +68,7 @@ var codeStatus = map[Code]int{
 // replica: the failure is a property of the serving instance, not of the
 // request. Everything else is deterministic and would fail identically.
 func retryableCode(c Code) bool {
-	return c == CodeShuttingDown || c == CodeUnavailable
+	return c == CodeShuttingDown || c == CodeUnavailable || c == CodeOverloaded
 }
 
 // Error is the structured error every non-2xx /v1 response carries, as
@@ -104,6 +110,11 @@ type envelope struct {
 func WriteError(w http.ResponseWriter, e *Error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Content-Type-Options", "nosniff")
+	if e.Code == CodeOverloaded {
+		// Shed responses carry a backoff hint; 1s is deliberately coarse —
+		// clients with their own jittered backoff should prefer it.
+		w.Header().Set("Retry-After", "1")
+	}
 	w.WriteHeader(e.HTTPStatus())
 	b, err := json.Marshal(envelope{Error: e})
 	if err != nil { // an Error is three plain fields; cannot happen
@@ -128,6 +139,8 @@ func DecodeError(status int, body []byte) *Error {
 		code = CodeUnknownExperiment
 	case status == http.StatusServiceUnavailable:
 		code = CodeShuttingDown
+	case status == http.StatusTooManyRequests:
+		code = CodeOverloaded
 	case status >= 400 && status < 500:
 		code = CodeBadRequest
 	}

@@ -1,0 +1,92 @@
+// Fuzz coverage for the two decode surfaces that consume bytes from the
+// network: the error envelope and the NDJSON stream framing. Both must
+// hold the same contract for arbitrary input — typed results or typed
+// errors, never a panic, and invariants a caller can rely on blindly
+// (DecodeError never nil, a nil-error stream always trailer-terminated).
+package api
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+)
+
+func FuzzDecodeError(f *testing.F) {
+	f.Add(400, []byte(`{"error":{"code":"bad_request","message":"x","retryable":false}}`))
+	f.Add(429, []byte(`{"error":{"code":"overloaded","message":"busy","retryable":true}}`))
+	f.Add(503, []byte(`plain text from a proxy`))
+	f.Add(404, []byte(``))
+	f.Add(500, []byte(`{"error":null}`))
+	f.Add(500, []byte(`{"error":{}}`))
+	f.Add(200, []byte(`{"error":{"code":"`))
+	f.Add(999, []byte(`\xff\xfe garbage`))
+
+	f.Fuzz(func(t *testing.T, status int, body []byte) {
+		e := DecodeError(status, body)
+		if e == nil {
+			t.Fatal("DecodeError returned nil")
+		}
+		if e.Code == "" {
+			t.Fatalf("DecodeError(%d, %q) produced an empty code", status, body)
+		}
+		// Synthesized errors must track the retryability of their code so
+		// routing layers behave the same for enveloped and degraded bodies.
+		if !bytes.Contains(body, []byte(`"code"`)) {
+			switch status {
+			case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+				if !e.Retryable {
+					t.Fatalf("status %d synthesized non-retryable %q", status, e.Code)
+				}
+			}
+		}
+		// The error must survive the wire round-trip it came from.
+		if e.Error() == "" || e.HTTPStatus() < 100 || e.HTTPStatus() > 599 {
+			t.Fatalf("degenerate error: %+v status=%d", e, e.HTTPStatus())
+		}
+	})
+}
+
+func FuzzStreamDecoder(f *testing.F) {
+	head := `{"schema":"v2","fields":["bench"],"points":2}` + "\n"
+	rec := `{"labels":{"bench":"des"},"stats":{}}` + "\n"
+	trailer := `{"trailer":{"points":2,"complete":true}}` + "\n"
+	f.Add([]byte(head + rec + rec + trailer))             // complete
+	f.Add([]byte(head + rec))                             // truncated
+	f.Add([]byte(head + rec + rec))                       // trailerless
+	f.Add([]byte(head + rec + trailer))                   // trailer disagrees
+	f.Add([]byte(head + "{not json\n" + trailer))         // corrupt record
+	f.Add([]byte(""))                                     // empty
+	f.Add([]byte("\n\n\n"))                               // blank lines
+	f.Add([]byte(`{"trailer":{"complete":true}}` + "\n")) // trailer as header
+	f.Add([]byte(head + trailer + rec))                   // records after trailer
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		dec, err := NewStreamDecoder(bytes.NewReader(stream))
+		if err != nil {
+			return // typed rejection at the header is a valid outcome
+		}
+		records := 0
+		for {
+			_, ok, err := dec.Next()
+			if err != nil {
+				if dec.Trailer() != nil {
+					t.Fatalf("Next errored (%v) after a clean trailer", err)
+				}
+				return // typed truncation/corruption, never a panic
+			}
+			if !ok {
+				break
+			}
+			records++
+			if records > 1<<20 {
+				t.Fatal("decoder emitted unbounded records from a bounded stream")
+			}
+		}
+		// A nil-error end of stream is the decoder's completeness claim:
+		// the trailer must exist, agree, and say complete.
+		tr := dec.Trailer()
+		if tr == nil || !tr.Complete || tr.Points != records {
+			t.Fatalf("clean end with trailer %+v after %d records", tr, records)
+		}
+	})
+}
