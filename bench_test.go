@@ -14,12 +14,14 @@ import (
 	"io"
 	"os"
 	"testing"
+	"time"
 
 	"swarmhints/internal/bench"
 	"swarmhints/internal/calq"
 	"swarmhints/internal/conflict"
 	"swarmhints/internal/exp"
 	"swarmhints/internal/mem"
+	"swarmhints/internal/obs"
 	"swarmhints/internal/runner"
 	"swarmhints/internal/task"
 	"swarmhints/swarm"
@@ -327,6 +329,36 @@ func BenchmarkSeedMerge(b *testing.B) {
 	}
 }
 
+// BenchmarkObsDisabled pins the disabled-path cost of the observability
+// layer (internal/obs): one iteration walks every instrumentation shape a
+// request path carries — StartSpan with attributes, a Timer, a direct
+// histogram observation, and the span End — with observability switched
+// off. The contract is the same as internal/fault's: each point costs one
+// atomic load and zero allocations, so allocs/op must stay 0 (gated by
+// benchgate against BENCH_baseline.json; ns/op is excluded from the gate
+// as sub-nanosecond-scale noise).
+func BenchmarkObsDisabled(b *testing.B) {
+	obs.SetEnabled(false)
+	h := obs.NewHistogram(nil)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sctx, sp := obs.StartSpan(ctx, "bench.op")
+		sp.SetAttr("key", "value")
+		t := obs.StartTimer()
+		h.Observe(time.Millisecond)
+		t.Observe(h)
+		sp.End()
+		if sctx != ctx {
+			b.Fatal("disabled StartSpan must return the caller's context unchanged")
+		}
+	}
+	if h.Count() != 0 {
+		b.Fatal("disabled observations were recorded")
+	}
+}
+
 // trajectoryPoint is one recorded perf-trajectory measurement, written as
 // BENCH_<rev>.json by TestBenchTrajectory (see README, "Perf trajectory").
 type trajectoryPoint struct {
@@ -371,6 +403,7 @@ func TestBenchTrajectory(t *testing.T) {
 		{"MemLoadStore", BenchmarkMemLoadStore},
 		{"SweepRunner", BenchmarkSweepRunner},
 		{"SeedMerge", BenchmarkSeedMerge},
+		{"ObsDisabled", BenchmarkObsDisabled},
 	} {
 		res := testing.Benchmark(b.fn)
 		point.Benchmarks = append(point.Benchmarks, trajectoryRow{

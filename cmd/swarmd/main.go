@@ -36,7 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -45,8 +45,15 @@ import (
 	"time"
 
 	"swarmhints/internal/cliutil"
+	"swarmhints/internal/obs"
 	"swarmhints/internal/service"
 )
+
+// fatal logs a startup/serve failure and exits.
+func fatal(msg string, err error) {
+	slog.Error(msg, "component", "swarmd", "err", err)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -61,20 +68,41 @@ func main() {
 		faultSpec     = flag.String("fault", "", "fault-injection site spec, e.g. 'store.write=fail,prob:0.01; swarmd.run.slow=latency:200ms,every:10' (testing only)")
 		faultSeed     = flag.Int64("fault-seed", 1, "fault-injection PRNG seed (fire patterns are reproducible for a fixed seed)")
 		faultAdmin    = flag.Bool("fault-admin", false, "mount the /v1/faults runtime fault-injection admin endpoint (testing only)")
+		obsOn         = flag.Bool("obs", true, "enable request tracing and latency histograms (disabled, every instrumentation point costs one atomic load)")
+		logLevel      = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat     = flag.String("log-format", "text", "log format: text or json")
+		debugAddr     = flag.String("debug-addr", "", "separate listener for /debug/pprof and /debug/traces (empty = disabled); never expose publicly")
 	)
 	flag.Parse()
 
+	if err := obs.SetupDefaultLogger(*logLevel, *logFormat); err != nil {
+		fatal("bad logging flags", err)
+	}
+	obs.SetEnabled(*obsOn)
 	if err := cliutil.ArmFaults(*faultSpec, *faultSeed); err != nil {
-		log.Fatalf("swarmd: %v", err)
+		fatal("arming fault sites", err)
 	}
 	st, err := cliutil.OpenStore(*storeDir, *storeMaxBytes)
 	if err != nil {
-		log.Fatalf("swarmd: %v", err)
+		fatal("opening result store", err)
 	}
 	if st != nil {
 		c := st.Counters()
-		log.Printf("swarmd: result store %s (%d records, %d bytes, cap %d)",
-			st.Dir(), c.Records, c.Bytes, st.MaxBytes())
+		slog.Info("result store opened", "component", "swarmd",
+			"dir", st.Dir(), "records", c.Records, "bytes", c.Bytes, "capBytes", st.MaxBytes())
+	}
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal("debug listener", err)
+		}
+		slog.Info("debug listener up (pprof + traces)", "component", "swarmd", "addr", dln.Addr().String())
+		go func() {
+			if err := http.Serve(dln, obs.DebugHandler(obs.Default)); err != nil {
+				slog.Error("debug listener failed", "component", "swarmd", "err", err)
+			}
+		}()
 	}
 
 	svc := service.New(service.Options{
@@ -89,9 +117,10 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("swarmd: %v", err)
+		fatal("listen", err)
 	}
-	log.Printf("swarmd: listening on %s (%d workers, %d cache entries)", ln.Addr(), svc.Workers(), *cache)
+	slog.Info("listening", "component", "swarmd", "addr", ln.Addr().String(),
+		"workers", svc.Workers(), "cacheEntries", *cache, "obs", *obsOn)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -100,19 +129,19 @@ func main() {
 	defer stop()
 	select {
 	case err := <-errc:
-		log.Fatalf("swarmd: %v", err)
+		fatal("serve", err)
 	case <-ctx.Done():
 	}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests, and cut
 	// off stragglers by canceling the service context at the drain deadline.
-	log.Printf("swarmd: shutting down (draining up to %v)", *drain)
+	slog.Info("shutting down", "component", "swarmd", "drain", *drain)
 	killTimer := time.AfterFunc(*drain, svc.Close)
 	defer killTimer.Stop()
 	sdCtx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(sdCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("swarmd: shutdown: %v", err)
+		slog.Error("shutdown", "component", "swarmd", "err", err)
 	}
 	svc.Close()
 	fmt.Fprintln(os.Stderr, "swarmd: bye")

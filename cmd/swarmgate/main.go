@@ -38,7 +38,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -48,7 +48,14 @@ import (
 
 	"swarmhints/internal/cliutil"
 	"swarmhints/internal/gate"
+	"swarmhints/internal/obs"
 )
+
+// fatal logs a startup/serve failure and exits.
+func fatal(msg string, err error) {
+	slog.Error(msg, "component", "swarmgate", "err", err)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -69,15 +76,36 @@ func main() {
 		faultSpec   = flag.String("fault", "", "fault-injection site spec, e.g. 'gate.attempt=fail,prob:0.01' (testing only)")
 		faultSeed   = flag.Int64("fault-seed", 1, "fault-injection PRNG seed (fire patterns are reproducible for a fixed seed)")
 		faultAdmin  = flag.Bool("fault-admin", false, "mount the /v1/faults runtime fault-injection admin endpoint (testing only)")
+		obsOn       = flag.Bool("obs", true, "enable request tracing and latency histograms (disabled, every instrumentation point costs one atomic load)")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "log format: text or json")
+		debugAddr   = flag.String("debug-addr", "", "separate listener for /debug/pprof and /debug/traces (empty = disabled); never expose publicly")
 	)
 	flag.Parse()
 
+	if err := obs.SetupDefaultLogger(*logLevel, *logFormat); err != nil {
+		fatal("bad logging flags", err)
+	}
+	obs.SetEnabled(*obsOn)
 	if err := cliutil.ArmFaults(*faultSpec, *faultSeed); err != nil {
-		log.Fatalf("swarmgate: %v", err)
+		fatal("arming fault sites", err)
 	}
 	urls, err := cliutil.ParseReplicas(*replicas)
 	if err != nil {
-		log.Fatalf("swarmgate: %v", err)
+		fatal("parsing replicas", err)
+	}
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal("debug listener", err)
+		}
+		slog.Info("debug listener up (pprof + traces)", "component", "swarmgate", "addr", dln.Addr().String())
+		go func() {
+			if err := http.Serve(dln, obs.DebugHandler(obs.Default)); err != nil {
+				slog.Error("debug listener failed", "component", "swarmgate", "err", err)
+			}
+		}()
 	}
 	g, err := gate.New(gate.Options{
 		Replicas:         urls,
@@ -95,7 +123,7 @@ func main() {
 		FaultAdmin:       *faultAdmin,
 	})
 	if err != nil {
-		log.Fatalf("swarmgate: %v", err)
+		fatal("building gateway", err)
 	}
 	srv := &http.Server{
 		Handler: g.Handler(),
@@ -105,9 +133,10 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("swarmgate: %v", err)
+		fatal("listen", err)
 	}
-	log.Printf("swarmgate: listening on %s (%d replicas, %s balancer)", ln.Addr(), len(urls), *balancer)
+	slog.Info("listening", "component", "swarmgate", "addr", ln.Addr().String(),
+		"replicas", len(urls), "balancer", *balancer, "obs", *obsOn)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -116,19 +145,19 @@ func main() {
 	defer stop()
 	select {
 	case err := <-errc:
-		log.Fatalf("swarmgate: %v", err)
+		fatal("serve", err)
 	case <-ctx.Done():
 	}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests, and cut
 	// off stragglers by canceling the gateway context at the drain deadline.
-	log.Printf("swarmgate: shutting down (draining up to %v)", *drain)
+	slog.Info("shutting down", "component", "swarmgate", "drain", *drain)
 	killTimer := time.AfterFunc(*drain, g.Close)
 	defer killTimer.Stop()
 	sdCtx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(sdCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("swarmgate: shutdown: %v", err)
+		slog.Error("shutdown", "component", "swarmgate", "err", err)
 	}
 	g.Close()
 	fmt.Fprintln(os.Stderr, "swarmgate: bye")

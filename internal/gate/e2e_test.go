@@ -103,7 +103,11 @@ func postSweep(t *testing.T, url, format string) []byte {
 // criterion: for every balancer and every response format, a fig2-tiny
 // sweep through a 3-replica fleet produces exactly the bytes a single
 // swarmd produces — and the JSON leg exactly the committed golden export.
+// The whole matrix runs with tracing and histograms enabled: spans and
+// observations are side channels, so instrumented responses must stay
+// byte-identical to the golden recorded before observability existed.
 func TestGatewaySweepMatchesSingleSwarmd(t *testing.T) {
+	withObs(t)
 	single := startReplica(t, "")
 	want := map[string][]byte{}
 	for _, format := range []string{"ndjson", "json", "csv"} {

@@ -27,7 +27,22 @@ import (
 
 	"swarmhints/internal/fault"
 	"swarmhints/internal/metrics"
+	"swarmhints/internal/obs"
 	"swarmhints/swarm/api"
+)
+
+// Attempt-outcome labels of the swarmgate_attempt_duration_seconds
+// histogram family. Every per-point routing attempt lands in exactly one:
+// the winner's outcome describes how it won (first try, retry, or hedge),
+// a healthy replica held off by its open breaker records a zero-duration
+// breaker-skip, and losers record failure or canceled.
+const (
+	attemptOK          = "ok"
+	attemptRetry       = "retry"
+	attemptHedgeWin    = "hedge-win"
+	attemptBreakerSkip = "breaker-skip"
+	attemptFailure     = "failure"
+	attemptCanceled    = "canceled"
 )
 
 // Options configures a Gateway.
@@ -113,6 +128,17 @@ type Gateway struct {
 
 	siteAttempt *fault.Site // gate.attempt: fail/delay a client-path attempt
 
+	// Attempt-latency histograms (internal/obs), one per outcome,
+	// resolved once like fault sites so the observe path stays
+	// allocation-free. attemptVec renders the family on /metrics.
+	attemptVec      *obs.HistVec
+	histOK          *obs.Histogram
+	histRetry       *obs.Histogram
+	histHedgeWin    *obs.Histogram
+	histBreakerSkip *obs.Histogram
+	histFailure     *obs.Histogram
+	histCanceled    *obs.Histogram
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -152,7 +178,17 @@ func New(opt Options) (*Gateway, error) {
 		bal:         bal,
 		rng:         rand.New(rand.NewSource(opt.Seed)),
 		siteAttempt: fault.Default.Site("gate.attempt"),
+		attemptVec: obs.NewHistVec("swarmgate_attempt_duration_seconds",
+			"Per-point routing attempt latency by outcome.", "outcome", nil,
+			attemptOK, attemptRetry, attemptHedgeWin, attemptBreakerSkip,
+			attemptFailure, attemptCanceled),
 	}
+	g.histOK = g.attemptVec.With(attemptOK)
+	g.histRetry = g.attemptVec.With(attemptRetry)
+	g.histHedgeWin = g.attemptVec.With(attemptHedgeWin)
+	g.histBreakerSkip = g.attemptVec.With(attemptBreakerSkip)
+	g.histFailure = g.attemptVec.With(attemptFailure)
+	g.histCanceled = g.attemptVec.With(attemptCanceled)
 	g.ctx, g.cancel = context.WithCancel(context.Background())
 	for _, u := range opt.Replicas {
 		r := &replica{
@@ -267,6 +303,11 @@ func (g *Gateway) pick(exclude int) int {
 		healthy = append(healthy, i)
 		if r.brk.ready() {
 			admitted = append(admitted, i)
+		} else {
+			// A healthy replica held off by its open breaker: record the
+			// exclusion as a zero-duration breaker-skip observation so the
+			// histogram shows how much traffic breakers are deflecting.
+			g.histBreakerSkip.Observe(0)
 		}
 	}
 	cands := admitted
@@ -373,6 +414,24 @@ func (g *Gateway) attempt(ctx context.Context, rr api.RunRequest, primary int, r
 				cctx, ccancel = context.WithTimeout(actx, g.opt.PointTimeout)
 			}
 			defer ccancel()
+			// The attempt span carries the trace to the replica: client.Run
+			// propagates it in the X-Swarm-Trace header, so the replica's
+			// server-side spans land in the same trace with this span as
+			// parent — retries and hedges are distinguishable by attribute.
+			cctx, sp := obs.StartSpan(cctx, "gate.attempt")
+			sp.SetAttr("replica", r.url)
+			sp.SetAttr("point", fmt.Sprintf("%s/%s/%d", rr.Bench, rr.Sched, rr.Cores))
+			if retry {
+				sp.SetAttr("retry", "true")
+			}
+			if hedge {
+				sp.SetAttr("hedge", "true")
+			}
+			finish := func(outcome string, lat time.Duration, h *obs.Histogram) {
+				sp.SetAttr("outcome", outcome)
+				sp.End()
+				h.Observe(lat)
+			}
 			start := time.Now()
 			var rs *metrics.ResultSet
 			var err error
@@ -409,6 +468,14 @@ func (g *Gateway) attempt(ctx context.Context, rr api.RunRequest, primary int, r
 					if hedge {
 						g.hedgeWins.Add(1)
 					}
+					switch {
+					case hedge:
+						finish(attemptHedgeWin, lat, g.histHedgeWin)
+					case retry:
+						finish(attemptRetry, lat, g.histRetry)
+					default:
+						finish(attemptOK, lat, g.histOK)
+					}
 					results <- outcome{idx: idx, rec: rs.Records[0], won: true}
 					return
 				}
@@ -417,6 +484,7 @@ func (g *Gateway) attempt(ctx context.Context, rr api.RunRequest, primary int, r
 				// slot release.
 				g.bal.Observe(idx, lat, OutcomeCanceled)
 				r.brk.canceled(probe)
+				finish(attemptCanceled, lat, g.histCanceled)
 				results <- outcome{idx: idx}
 			case ctx.Err() != nil || actx.Err() != nil:
 				// The caller disconnected, or the sibling won and canceled
@@ -427,12 +495,14 @@ func (g *Gateway) attempt(ctx context.Context, rr api.RunRequest, primary int, r
 				// or demote a healthy replica.
 				g.bal.Observe(idx, lat, OutcomeCanceled)
 				r.brk.canceled(probe)
+				finish(attemptCanceled, lat, g.histCanceled)
 				results <- outcome{idx: idx, err: api.Errorf(api.CodeShuttingDown, "%v", err)}
 			default:
 				ae := api.AsError(err)
 				g.bal.Observe(idx, lat, OutcomeFailure)
 				r.failed.Add(1)
 				r.brk.failure()
+				finish(attemptFailure, lat, g.histFailure)
 				if ae.Code == api.CodeUnavailable || ae.Code == api.CodeShuttingDown {
 					// Unreachable or draining: stop sending new points here
 					// until a probe (or an in-band success) revives it.
@@ -574,5 +644,6 @@ func (g *Gateway) PromMetrics() []metrics.PromMetric {
 		metrics.PromPerLabelGauge("swarmgate_replica_score", "Balancer desirability score per replica (adaptive: pheromone level).", "replica", c.Scores),
 		metrics.PromPerLabelGauge("swarmgate_replica_healthy", "Replica health (1 = in the candidate set).", "replica", healthy),
 		metrics.PromPerLabelGauge("swarmgate_replica_inflight", "Attempts in flight per replica.", "replica", inflight),
+		g.attemptVec.Prom(),
 	}
 }

@@ -5,7 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"sync"
 
@@ -14,6 +14,7 @@ import (
 	"swarmhints/internal/exp"
 	"swarmhints/internal/fault"
 	"swarmhints/internal/metrics"
+	"swarmhints/internal/obs"
 	"swarmhints/internal/service"
 	"swarmhints/swarm"
 	"swarmhints/swarm/api"
@@ -34,10 +35,23 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/experiments/{id}", g.handleExperiment)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	obs.Default.Mount(mux)
 	if g.opt.FaultAdmin {
 		mux.Handle("/v1/faults", fault.AdminHandler(fault.Default))
 	}
 	return mux
+}
+
+// traced begins (or continues, when the caller sent an X-Swarm-Trace
+// header) the request's root span and echoes its trace on the response,
+// so a client can immediately fetch /debug/traces/{id} for the request it
+// just made. Callers must End the returned span.
+func traced(w http.ResponseWriter, r *http.Request, name string) (context.Context, *obs.Span) {
+	ctx, sp := obs.ContinueSpan(r.Context(), r.Header.Get(api.TraceHeader), name)
+	if sp != nil {
+		w.Header().Set(api.TraceHeader, sp.Header())
+	}
+	return ctx, sp
 }
 
 // pointRequest builds the canonical per-point /v1/run request: scale and
@@ -53,6 +67,8 @@ func pointRequest(p exp.Point, scale bench.Scale, seed int64) api.RunRequest {
 // response is the replica's single-record result set re-encoded — byte
 // identical, since both ends marshal the same metrics.ResultSet shape.
 func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
+	ctx, sp := traced(w, r, "swarmgate.run")
+	defer sp.End()
 	var req api.RunRequest
 	if aerr := api.DecodeRequest(w, r, &req); aerr != nil {
 		api.WriteError(w, aerr)
@@ -63,11 +79,12 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, aerr)
 		return
 	}
+	sp.SetAttr("key", cfg.Key())
 	if req.Seeds > 1 {
-		g.handleRunSeeds(w, r.Context(), cfg, req.Seeds)
+		g.handleRunSeeds(w, ctx, cfg, req.Seeds)
 		return
 	}
-	rec, url, aerr := g.runPoint(r.Context(), pointRequest(cfg.Point, cfg.Scale, cfg.Seed))
+	rec, url, aerr := g.runPoint(ctx, pointRequest(cfg.Point, cfg.Scale, cfg.Seed))
 	if aerr != nil {
 		api.WriteError(w, aerr)
 		return
@@ -127,6 +144,8 @@ func (g *Gateway) handleRunSeeds(w http.ResponseWriter, ctx context.Context, cfg
 // reassembled in canonical configuration order — the same order, framing,
 // and bytes a single swarmd would emit.
 func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
+	ctx, sp := traced(w, r, "swarmgate.sweep")
+	defer sp.End()
 	var req api.SweepRequest
 	if aerr := api.DecodeRequest(w, r, &req); aerr != nil {
 		api.WriteError(w, aerr)
@@ -137,6 +156,7 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, aerr)
 		return
 	}
+	sp.SetAttrInt("points", int64(len(points)))
 	format := req.Format
 	if format == "" {
 		format = "ndjson"
@@ -149,9 +169,9 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	switch format {
 	case "ndjson":
-		g.streamSweep(w, r.Context(), rrs)
+		g.streamSweep(w, ctx, rrs)
 	case "json", "csv":
-		recs, aerr := g.runAllPoints(r.Context(), rrs)
+		recs, aerr := g.runAllPoints(ctx, rrs)
 		if aerr != nil {
 			api.WriteError(w, aerr)
 			return
@@ -251,8 +271,11 @@ func (g *Gateway) streamSweep(w http.ResponseWriter, ctx context.Context, rrs []
 		api.WriteError(w, api.Errorf(api.CodeInternal, "%v", err))
 		return
 	}
-	if _, err := w.Write(header); err != nil {
+	written := int64(0)
+	if n, err := w.Write(header); err != nil {
 		return
+	} else {
+		written += int64(n)
 	}
 	flush := func() {}
 	if f, ok := w.(http.Flusher); ok {
@@ -263,7 +286,7 @@ func (g *Gateway) streamSweep(w http.ResponseWriter, ctx context.Context, rrs []
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	var mu sync.Mutex // guards next, lines, streamErr, and writes to w
+	var mu sync.Mutex // guards next, lines, streamErr, written, and writes to w
 	next := 0
 	lines := make(map[int][]byte, len(rrs))
 	var streamErr error
@@ -299,7 +322,9 @@ func (g *Gateway) streamSweep(w http.ResponseWriter, ctx context.Context, rrs []
 			}
 			lines[i] = line
 			for next < len(rrs) && lines[next] != nil {
-				if _, err := w.Write(lines[next]); err != nil {
+				n, err := w.Write(lines[next])
+				written += int64(n)
+				if err != nil {
 					streamErr = err
 					cancel()
 					return
@@ -312,7 +337,13 @@ func (g *Gateway) streamSweep(w http.ResponseWriter, ctx context.Context, rrs []
 	}
 	wg.Wait()
 	if streamErr != nil {
-		log.Printf("swarmgate: sweep stream aborted: %v", streamErr)
+		slog.Error("sweep stream aborted",
+			"component", "swarmgate",
+			"trace", obs.Trace(ctx),
+			"point", next,
+			"points", len(rrs),
+			"bytes", written,
+			"err", streamErr)
 		return
 	}
 	if trailer, err := api.EncodeTrailer(len(rrs)); err == nil {
@@ -355,7 +386,10 @@ func (g *Gateway) handleExperimentList(w http.ResponseWriter, r *http.Request) {
 // store, so fleet-wide reuse holds). Retryable failures re-route to a
 // different replica like any point.
 func (g *Gateway) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	ctx, sp := traced(w, r, "swarmgate.experiment")
+	defer sp.End()
 	id := r.PathValue("id")
+	sp.SetAttr("experiment", id)
 	var req api.ExperimentRequest
 	if aerr := api.DecodeRequest(w, r, &req); aerr != nil {
 		api.WriteError(w, aerr)
@@ -365,13 +399,13 @@ func (g *Gateway) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	var lastErr *api.Error
 	last := -1
 	for a := 0; a < attempts; a++ {
-		if err := r.Context().Err(); err != nil {
+		if err := ctx.Err(); err != nil {
 			api.WriteError(w, api.Errorf(api.CodeShuttingDown, "%v", err))
 			return
 		}
 		i := g.pick(last)
 		rep := g.replicas[i]
-		body, contentType, err := rep.client.Experiment(r.Context(), id, req)
+		body, contentType, err := rep.client.Experiment(ctx, id, req)
 		if err == nil {
 			w.Header().Set("Content-Type", contentType)
 			w.Header().Set("X-Swarmgate-Replica", rep.url)

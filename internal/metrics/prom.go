@@ -21,12 +21,27 @@ type PromValue struct {
 }
 
 // PromMetric is one metric family: name, help text, type, and its series.
-// Type is "counter" or "gauge".
+// Type is "counter", "gauge", or "histogram". Counter/gauge families fill
+// Values; histogram families fill Hist instead.
 type PromMetric struct {
 	Name   string
 	Help   string
 	Type   string
 	Values []PromValue
+	Hist   []PromHistSeries
+}
+
+// PromHistSeries is one histogram series: its label set, the bucket upper
+// bounds in ascending order (the implicit +Inf bucket is Buckets' final
+// entry, beyond the last bound), cumulative bucket counts, and the
+// _sum/_count pair. Buckets must have len(Bounds)+1 entries and be
+// cumulative (each entry >= the previous).
+type PromHistSeries struct {
+	Labels  map[string]string
+	Bounds  []float64
+	Buckets []uint64
+	Sum     float64
+	Count   uint64
 }
 
 // PromSingle builds a one-series family with no labels — the shape of most
@@ -84,6 +99,56 @@ func labelString(labels map[string]string) string {
 	return b.String()
 }
 
+// bucketLabelString renders a label set plus the le bucket label. The le
+// label is appended after the sorted series labels, matching the common
+// client-library layout.
+func bucketLabelString(labels map[string]string, le string) string {
+	base := labelString(labels)
+	if base == "" {
+		return `{le="` + le + `"}`
+	}
+	return base[:len(base)-1] + `,le="` + le + `"}`
+}
+
+// formatBound renders a bucket upper bound as its le label value.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// writeHist renders one histogram family: per series, the cumulative
+// _bucket lines in bound order (ending with +Inf), then _sum and _count.
+// Series are sorted by label signature; bucket order within a series is
+// never re-sorted — le values are numeric, not lexical.
+func writeHist(w io.Writer, m PromMetric) error {
+	type rendered struct {
+		sig   string
+		lines []string
+	}
+	series := make([]rendered, 0, len(m.Hist))
+	for _, h := range m.Hist {
+		r := rendered{sig: labelString(h.Labels)}
+		for i, b := range h.Bounds {
+			r.lines = append(r.lines, fmt.Sprintf("%s_bucket%s %d",
+				m.Name, bucketLabelString(h.Labels, formatBound(b)), h.Buckets[i]))
+		}
+		r.lines = append(r.lines, fmt.Sprintf("%s_bucket%s %d",
+			m.Name, bucketLabelString(h.Labels, "+Inf"), h.Buckets[len(h.Buckets)-1]))
+		r.lines = append(r.lines, fmt.Sprintf("%s_sum%s %s",
+			m.Name, r.sig, strconv.FormatFloat(h.Sum, 'g', -1, 64)))
+		r.lines = append(r.lines, fmt.Sprintf("%s_count%s %d", m.Name, r.sig, h.Count))
+		series = append(series, r)
+	}
+	sort.Slice(series, func(i, j int) bool { return series[i].sig < series[j].sig })
+	for _, r := range series {
+		for _, line := range r.lines {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // WriteProm writes the metric families in the Prometheus text exposition
 // format. Series within a family are sorted by label signature so the
 // output is deterministic regardless of map iteration order.
@@ -96,6 +161,12 @@ func WriteProm(w io.Writer, families []PromMetric) error {
 		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
 			return err
+		}
+		if m.Type == "histogram" {
+			if err := writeHist(w, m); err != nil {
+				return err
+			}
+			continue
 		}
 		lines := make([]string, 0, len(m.Values))
 		for _, v := range m.Values {

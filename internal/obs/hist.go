@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+
+	"swarmhints/internal/metrics"
+)
+
+// Histogram is a fixed-bucket, allocation-free latency histogram: Observe
+// is a branchless-enough linear probe over a few dozen bounds plus three
+// atomic adds, and nothing on the observe path allocates. Disabled
+// (obs.SetEnabled(false)), Observe returns after one atomic load. Buckets
+// are fixed at construction — there is no resizing, no quantile sketching,
+// no per-observation memory — which is what lets the hot paths carry one
+// unconditionally.
+//
+// Snapshots render in the Prometheus text exposition format through
+// metrics.PromMetric's histogram family: cumulative <name>_bucket series
+// with le labels, plus <name>_sum and <name>_count.
+type Histogram struct {
+	bounds []float64 // upper bounds in seconds, strictly ascending
+	counts []atomic.Uint64
+	// counts[len(bounds)] is the overflow (+Inf) bucket.
+	sumNanos atomic.Int64
+	count    atomic.Uint64
+}
+
+// DefBounds are the default latency bounds (seconds): 10µs to 60s in a
+// coarse exponential ladder. One shared ladder keeps every family's
+// buckets comparable across the fleet.
+var DefBounds = []float64{
+	0.00001, 0.0001, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// NewHistogram builds a histogram over the given upper bounds (seconds,
+// strictly ascending; nil means DefBounds). An implicit +Inf overflow
+// bucket is always present.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBounds
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration. Disabled, it is a single atomic load.
+func (h *Histogram) Observe(d time.Duration) {
+	if !enabled.Load() {
+		return
+	}
+	h.observe(d)
+}
+
+// observe is Observe past the enabled gate (Timer.Observe already paid it).
+func (h *Histogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNanos.Add(d.Nanoseconds())
+	h.count.Add(1)
+}
+
+// Snapshot returns the histogram's current state as a Prometheus series:
+// cumulative bucket counts (one per bound, plus +Inf), the observation sum
+// in seconds, and the observation count. Concurrent observations may land
+// between the bucket reads — the snapshot is monotone-consistent enough
+// for scraping, exactly like every Prometheus client's.
+func (h *Histogram) Snapshot(labels map[string]string) metrics.PromHistSeries {
+	s := metrics.PromHistSeries{
+		Labels:  labels,
+		Bounds:  h.bounds,
+		Buckets: make([]uint64, len(h.counts)),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Buckets[i] = cum
+	}
+	s.Count = h.count.Load()
+	s.Sum = float64(h.sumNanos.Load()) / float64(time.Second)
+	if s.Count < s.Buckets[len(s.Buckets)-1] {
+		// A racing observer bumped a bucket before the count; clamp so the
+		// rendered +Inf bucket never exceeds _count.
+		s.Count = s.Buckets[len(s.Buckets)-1]
+	}
+	return s
+}
+
+// Count returns the number of observations recorded.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNanos.Load()) }
+
+// Prom renders the histogram as a single-series Prometheus family.
+func (h *Histogram) Prom(name, help string) metrics.PromMetric {
+	return metrics.PromMetric{
+		Name: name, Help: help, Type: "histogram",
+		Hist: []metrics.PromHistSeries{h.Snapshot(nil)},
+	}
+}
+
+// HistVec is a family of histograms over one label with a fixed, known-at-
+// construction set of values (outcomes, stages, ops). Fixing the label
+// space up front keeps the observe path allocation-free: call sites
+// resolve their histogram once (With) and hold the pointer, exactly like
+// fault sites.
+type HistVec struct {
+	name, help, label string
+	keys              []string
+	hists             []*Histogram
+}
+
+// NewHistVec builds the family with one histogram per key, all sharing the
+// given bounds (nil = DefBounds).
+func NewHistVec(name, help, label string, bounds []float64, keys ...string) *HistVec {
+	v := &HistVec{name: name, help: help, label: label, keys: keys}
+	for range keys {
+		v.hists = append(v.hists, NewHistogram(bounds))
+	}
+	return v
+}
+
+// With returns the histogram for one label value. Unknown values panic:
+// the label space is a fixed contract, and a typo must fail at wiring
+// time, not silently create a series.
+func (v *HistVec) With(key string) *Histogram {
+	for i, k := range v.keys {
+		if k == key {
+			return v.hists[i]
+		}
+	}
+	panic("obs: unknown histogram label value " + key)
+}
+
+// Prom renders the family: one series per label value, in construction
+// order (WriteProm sorts by label signature for the wire).
+func (v *HistVec) Prom() metrics.PromMetric {
+	m := metrics.PromMetric{Name: v.name, Help: v.help, Type: "histogram"}
+	for i, k := range v.keys {
+		m.Hist = append(m.Hist, v.hists[i].Snapshot(map[string]string{v.label: k}))
+	}
+	return m
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"swarmhints/internal/metrics"
+)
+
+func TestHistogramBucketMath(t *testing.T) {
+	withEnabled(t, true)
+	bounds := []float64{0.001, 0.01, 0.1}
+	h := NewHistogram(bounds)
+	// Upper bounds are inclusive (Prometheus le semantics): an observation
+	// exactly on a bound lands in that bound's bucket, not the next one.
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{0, 0},
+		{500 * time.Microsecond, 0},
+		{time.Millisecond, 0}, // exactly le=0.001
+		{2 * time.Millisecond, 1},
+		{10 * time.Millisecond, 1}, // exactly le=0.01
+		{100 * time.Millisecond, 2},
+		{101 * time.Millisecond, 3}, // past the last bound: +Inf
+		{time.Hour, 3},
+		{-time.Second, 0}, // clamped to zero, never a panic
+	}
+	want := make([]uint64, len(bounds)+1)
+	for _, c := range cases {
+		h.Observe(c.d)
+		want[c.bucket]++
+	}
+	for i := range h.counts {
+		if got := h.counts[i].Load(); got != want[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, got, want[i])
+		}
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(cases))
+	}
+
+	s := h.Snapshot(nil)
+	if len(s.Buckets) != len(bounds)+1 {
+		t.Fatalf("snapshot has %d buckets, want %d (+Inf included)", len(s.Buckets), len(bounds)+1)
+	}
+	var cum uint64
+	for i, w := range want {
+		cum += w
+		if s.Buckets[i] != cum {
+			t.Errorf("cumulative bucket %d = %d, want %d", i, s.Buckets[i], cum)
+		}
+	}
+	if s.Buckets[len(s.Buckets)-1] != s.Count {
+		t.Errorf("+Inf bucket %d != count %d", s.Buckets[len(s.Buckets)-1], s.Count)
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	withEnabled(t, true)
+	h := NewHistogram(nil)
+	h.Observe(1500 * time.Millisecond)
+	h.Observe(500 * time.Millisecond)
+	if got, want := h.Sum(), 2*time.Second; got != want {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+	if got := h.Snapshot(nil).Sum; got != 2.0 {
+		t.Errorf("snapshot Sum = %v, want 2 seconds", got)
+	}
+}
+
+func TestNewHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{
+		{0.1, 0.1},
+		{0.1, 0.01},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) must panic on non-ascending bounds", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestHistVec(t *testing.T) {
+	withEnabled(t, true)
+	v := NewHistVec("x_seconds", "help", "op", []float64{0.01}, "read", "write")
+	if v.With("read") == v.With("write") {
+		t.Error("distinct label values must resolve to distinct histograms")
+	}
+	if v.With("read") != v.With("read") {
+		t.Error("With must be stable for one label value")
+	}
+	v.With("read").Observe(time.Millisecond)
+	m := v.Prom()
+	if m.Type != "histogram" || len(m.Hist) != 2 {
+		t.Fatalf("Prom family = type %q with %d series, want histogram/2", m.Type, len(m.Hist))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("With must panic on a label value outside the fixed space")
+			}
+		}()
+		v.With("fsync")
+	}()
+}
+
+// TestHistogramPromGolden pins the exact Prometheus text exposition of a
+// histogram family: cumulative _bucket lines in bound order with le
+// appended after the series labels, the +Inf bucket, then _sum and _count,
+// series sorted by label signature.
+func TestHistogramPromGolden(t *testing.T) {
+	withEnabled(t, true)
+	v := NewHistVec("swarmd_test_seconds", "Test histogram.", "op", []float64{0.001, 0.01}, "read", "write")
+	for _, d := range []time.Duration{
+		500 * time.Microsecond, // read: le=0.001
+		10 * time.Millisecond,  // read: le=0.01 (exactly on the bound)
+		time.Second,            // read: +Inf
+	} {
+		v.With("read").Observe(d)
+	}
+
+	var b strings.Builder
+	if err := metrics.WriteProm(&b, []metrics.PromMetric{v.Prom()}); err != nil {
+		t.Fatal(err)
+	}
+	golden := `# HELP swarmd_test_seconds Test histogram.
+# TYPE swarmd_test_seconds histogram
+swarmd_test_seconds_bucket{op="read",le="0.001"} 1
+swarmd_test_seconds_bucket{op="read",le="0.01"} 2
+swarmd_test_seconds_bucket{op="read",le="+Inf"} 3
+swarmd_test_seconds_sum{op="read"} 1.0105
+swarmd_test_seconds_count{op="read"} 3
+swarmd_test_seconds_bucket{op="write",le="0.001"} 0
+swarmd_test_seconds_bucket{op="write",le="0.01"} 0
+swarmd_test_seconds_bucket{op="write",le="+Inf"} 0
+swarmd_test_seconds_sum{op="write"} 0
+swarmd_test_seconds_count{op="write"} 0
+`
+	if b.String() != golden {
+		t.Errorf("rendered exposition differs from golden:\n--- got ---\n%s--- want ---\n%s", b.String(), golden)
+	}
+}
+
+// TestHistogramPromGoldenUnlabeled pins the single-series shape: no series
+// labels, so the bucket lines carry only le.
+func TestHistogramPromGoldenUnlabeled(t *testing.T) {
+	withEnabled(t, true)
+	h := NewHistogram([]float64{0.5})
+	h.Observe(250 * time.Millisecond)
+	h.Observe(2 * time.Second)
+
+	var b strings.Builder
+	if err := metrics.WriteProm(&b, []metrics.PromMetric{h.Prom("plain_seconds", "")}); err != nil {
+		t.Fatal(err)
+	}
+	golden := `# TYPE plain_seconds histogram
+plain_seconds_bucket{le="0.5"} 1
+plain_seconds_bucket{le="+Inf"} 2
+plain_seconds_sum 2.25
+plain_seconds_count 2
+`
+	if b.String() != golden {
+		t.Errorf("rendered exposition differs from golden:\n--- got ---\n%s--- want ---\n%s", b.String(), golden)
+	}
+}

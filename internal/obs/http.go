@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// HTTP surface: GET /debug/traces lists recent traces, GET
+// /debug/traces/{id} returns one trace's spans — both served from the
+// process's span ring, mounted on the main handler of both daemons.
+// DebugHandler additionally bundles net/http/pprof for the optional
+// -debug-addr listener (pprof is never mounted on the serving listener).
+
+// SpanJSON is the wire form of one finished span.
+type SpanJSON struct {
+	Trace  string    `json:"trace"`
+	Span   string    `json:"span"`
+	Parent string    `json:"parent,omitempty"`
+	Name   string    `json:"name"`
+	Start  time.Time `json:"start"`
+	DurNs  int64     `json:"durationNs"`
+	Attrs  []Attr    `json:"attrs,omitempty"`
+}
+
+// JSON renders the span for the debug endpoints.
+func (s *Span) JSON() SpanJSON {
+	j := SpanJSON{
+		Trace: s.trace.String(),
+		Span:  hex16(s.id),
+		Name:  s.name,
+		Start: s.start,
+		DurNs: s.dur.Nanoseconds(),
+		Attrs: s.attrs,
+	}
+	if s.parent != 0 {
+		j.Parent = hex16(s.parent)
+	}
+	return j
+}
+
+// hex16 renders a span ID as 16 hex digits without fmt (cheap and
+// deterministic).
+func hex16(v uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// writeJSON writes v as indented JSON (the debug surface is for humans
+// and tests, not a hot path).
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// HandleTraceList serves GET /debug/traces: recent trace summaries, most
+// recent first.
+func (tr *Tracer) HandleTraceList(w http.ResponseWriter, _ *http.Request) {
+	sums := tr.Traces()
+	body := struct {
+		Enabled bool           `json:"enabled"`
+		Traces  []TraceSummary `json:"traces"`
+	}{Enabled: Enabled(), Traces: sums}
+	writeJSON(w, body)
+}
+
+// HandleTraceGet serves GET /debug/traces/{id}: every retained span of one
+// trace, in start order. Unknown or malformed IDs answer 404.
+func (tr *Tracer) HandleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id, ok := ParseTraceID(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "bad trace id", http.StatusNotFound)
+		return
+	}
+	spans := tr.TraceSpans(id)
+	if len(spans) == 0 {
+		http.Error(w, "trace not found (rotated out of the ring, or never recorded)", http.StatusNotFound)
+		return
+	}
+	out := struct {
+		Trace string     `json:"trace"`
+		Spans []SpanJSON `json:"spans"`
+	}{Trace: id.String()}
+	for _, sp := range spans {
+		out.Spans = append(out.Spans, sp.JSON())
+	}
+	writeJSON(w, out)
+}
+
+// Mount registers the trace endpoints on a serving mux. Both daemons call
+// it from their Handler construction.
+func (tr *Tracer) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/traces", tr.HandleTraceList)
+	mux.HandleFunc("GET /debug/traces/{id}", tr.HandleTraceGet)
+}
+
+// DebugHandler is the -debug-addr surface: the trace endpoints plus
+// net/http/pprof (profile, heap, goroutine, trace, ...). It is served on
+// its own listener, off by default, so profiling can never be reached
+// through the production port.
+func DebugHandler(tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	tr.Mount(mux)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

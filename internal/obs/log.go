@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Structured-logging setup shared by the daemons: both swarmd and
+// swarmgate expose -log-level and -log-format flags and route every log
+// record through log/slog. Records on request paths attach the trace ID
+// (obs.Trace(ctx)) so a log line and its /debug/traces entry
+// cross-reference each other.
+
+// ParseLevel maps a -log-level flag value onto a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (have debug, info, warn, error)", s)
+}
+
+// NewLogger builds a slog.Logger writing to w at the given level in the
+// given format ("text" or "json").
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (have text, json)", format)
+}
+
+// SetupDefaultLogger configures the process-wide slog default from the
+// -log-level/-log-format flag values, writing to stderr. Called once at
+// daemon startup before anything logs.
+func SetupDefaultLogger(level, format string) error {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return err
+	}
+	lg, err := NewLogger(os.Stderr, lv, format)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(lg)
+	return nil
+}

@@ -1,0 +1,449 @@
+// Package obs is the fleet's zero-dependency observability layer: request
+// tracing, fixed-bucket latency histograms, and structured-logging setup,
+// threaded through swarmgate, swarmd, the result store, and the sweep
+// runner. It follows the same discipline as internal/fault: every
+// instrumentation point compiled into a production path costs one atomic
+// load and zero allocations while observability is disabled (pinned by
+// BenchmarkObsDisabled in the perf trajectory), so the instrumented and
+// uninstrumented binaries are the same binary.
+//
+// Tracing model: swarmgate mints a 128-bit trace ID per request; each
+// per-point routing attempt (retries and hedges tagged as such) becomes a
+// span, carried to swarmd in the X-Swarm-Trace header (swarm/api sets and
+// parses it) and continued through service → store → engine via
+// context.Context. Finished spans land in a lock-free per-process ring
+// buffer (Tracer), retrievable as JSON from GET /debug/traces and
+// /debug/traces/{id} on both daemons. Tracing never changes response
+// bytes: spans and logs are side channels, so gateway streams stay
+// byte-identical to a single swarmd with tracing on.
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the process-wide observability switch. Disabled (the zero
+// state) every instrumentation point — StartSpan, ContinueSpan, Timer,
+// Histogram.Observe — returns after a single atomic load with zero
+// allocations.
+var enabled atomic.Bool
+
+// SetEnabled flips the process-wide observability switch. Daemons set it
+// from the -obs flag at startup; tests toggle it around assertions.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether tracing and histograms are live.
+func Enabled() bool { return enabled.Load() }
+
+// TraceID is a 128-bit trace identifier, rendered as 32 hex digits.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// ParseTraceID parses a 32-hex-digit trace ID.
+func ParseTraceID(s string) (TraceID, bool) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, false
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return t, false
+	}
+	copy(t[:], b)
+	return t, !t.IsZero()
+}
+
+// ID generation: a per-process random base (crypto/rand, fixed at init)
+// mixed with an atomic counter through a splitmix64 finalizer. Lock-free,
+// collision-resistant across processes, and never zero.
+var (
+	idBase [2]uint64
+	idCtr  atomic.Uint64
+)
+
+func init() {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Degraded uniqueness (single-process scope only) beats a panic in
+		// an environment without an entropy source.
+		binary.LittleEndian.PutUint64(b[:8], uint64(time.Now().UnixNano()))
+		binary.LittleEndian.PutUint64(b[8:], 0x9e3779b97f4a7c15)
+	}
+	idBase[0] = binary.LittleEndian.Uint64(b[:8])
+	idBase[1] = binary.LittleEndian.Uint64(b[8:])
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewTraceID mints a fresh 128-bit trace ID.
+func NewTraceID() TraceID {
+	n := idCtr.Add(1)
+	var t TraceID
+	binary.BigEndian.PutUint64(t[:8], mix64(idBase[0]^n))
+	binary.BigEndian.PutUint64(t[8:], mix64(idBase[1]+n))
+	if t.IsZero() { // astronomically unlikely; IDs must be non-zero
+		t[15] = 1
+	}
+	return t
+}
+
+// newSpanID mints a non-zero 64-bit span ID.
+func newSpanID() uint64 {
+	id := mix64(idBase[1] ^ idCtr.Add(1))
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// Attr is one span attribute (string key/value; use SetAttrInt for
+// numbers).
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed operation within a trace. Spans are mutated only by
+// the goroutine that started them, and become immutable (and visible to
+// /debug/traces readers) when End publishes them into the tracer's ring.
+// Every method is nil-receiver safe: a disabled StartSpan returns a nil
+// span and the call sites pay nothing further.
+type Span struct {
+	trace  TraceID
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	dur    time.Duration
+	attrs  []Attr
+	tracer *Tracer
+}
+
+// TraceID returns the span's trace, or the zero ID on a nil span.
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.trace
+}
+
+// ID returns the span's own ID (0 on nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Name returns the span's operation name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetAttr attaches a string attribute. Last write wins on duplicate keys
+// at render time; spans carry few attributes, so no dedup is done here.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// SetAttrInt attaches an integer attribute.
+func (s *Span) SetAttrInt(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.FormatInt(value, 10)})
+}
+
+// Attr returns the last value set for key ("" when absent).
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	for i := len(s.attrs) - 1; i >= 0; i-- {
+		if s.attrs[i].Key == key {
+			return s.attrs[i].Value
+		}
+	}
+	return ""
+}
+
+// Header renders the span's propagation header value:
+// "<32-hex trace>-<16-hex span>". The receiving server continues the trace
+// with this span as parent. Nil spans render "".
+func (s *Span) Header() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace.String() + "-" + fmt.Sprintf("%016x", s.id)
+}
+
+// ParseHeader parses an X-Swarm-Trace value into (trace, parent span).
+func ParseHeader(v string) (TraceID, uint64, bool) {
+	if len(v) != 49 || v[32] != '-' {
+		return TraceID{}, 0, false
+	}
+	t, ok := ParseTraceID(v[:32])
+	if !ok {
+		return TraceID{}, 0, false
+	}
+	parent, err := strconv.ParseUint(v[33:], 16, 64)
+	if err != nil {
+		return TraceID{}, 0, false
+	}
+	return t, parent, true
+}
+
+// End finalizes the span's duration and publishes it into its tracer's
+// ring, making it visible to /debug/traces. Safe on nil spans; ending a
+// span twice publishes it twice (don't).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.dur = time.Since(s.start)
+	if s.tracer != nil {
+		s.tracer.publish(s)
+	}
+}
+
+// ctxKey carries the current span through context.Context.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp. A nil sp returns ctx unchanged,
+// so disabled paths never allocate a context either.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// Trace returns the hex trace ID carried by ctx, or "" — the value every
+// structured log record attaches so logs and traces cross-reference.
+func Trace(ctx context.Context) string {
+	if sp := SpanFromContext(ctx); sp != nil {
+		return sp.trace.String()
+	}
+	return ""
+}
+
+// StartSpan begins a child span of the one carried by ctx (minting a fresh
+// trace when ctx carries none) on the Default tracer, and returns ctx
+// re-wrapped to carry it. Disabled, it returns (ctx, nil) after one atomic
+// load and zero allocations.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if !enabled.Load() {
+		return ctx, nil
+	}
+	return Default.start(ctx, name)
+}
+
+// ContinueSpan begins a server-side span continuing the trace in an
+// X-Swarm-Trace header value: the header's trace ID is adopted and its
+// span becomes the parent. An absent or malformed header mints a fresh
+// trace, so a daemon hit directly (no gateway in front) still traces.
+// Disabled, it returns (ctx, nil) after one atomic load.
+func ContinueSpan(ctx context.Context, header, name string) (context.Context, *Span) {
+	if !enabled.Load() {
+		return ctx, nil
+	}
+	sp := &Span{name: name, start: time.Now(), tracer: Default, id: newSpanID()}
+	if t, parent, ok := ParseHeader(header); ok {
+		sp.trace, sp.parent = t, parent
+	} else {
+		sp.trace = NewTraceID()
+	}
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// Tracer holds a process's finished spans in a fixed-size lock-free ring:
+// publishing claims a slot with one atomic add and stores the span pointer
+// with one atomic store, so tracing adds no lock to any request path.
+// When the ring wraps, the oldest spans are overwritten — /debug/traces is
+// a window over recent activity, not an archive.
+type Tracer struct {
+	ring []atomic.Pointer[Span]
+	next atomic.Uint64
+}
+
+// DefaultRingSize is the Default tracer's span capacity.
+const DefaultRingSize = 4096
+
+// NewTracer builds a tracer whose ring holds size finished spans (rounded
+// up to a power of two, minimum 16).
+func NewTracer(size int) *Tracer {
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	return &Tracer{ring: make([]atomic.Pointer[Span], n)}
+}
+
+// Default is the process-wide tracer: every StartSpan/ContinueSpan records
+// here, and both daemons' /debug/traces endpoints read from it.
+var Default = NewTracer(DefaultRingSize)
+
+// start begins a child span of ctx's span on this tracer.
+func (tr *Tracer) start(ctx context.Context, name string) (context.Context, *Span) {
+	sp := &Span{name: name, start: time.Now(), tracer: tr, id: newSpanID()}
+	if parent := SpanFromContext(ctx); parent != nil {
+		sp.trace, sp.parent = parent.trace, parent.id
+	} else {
+		sp.trace = NewTraceID()
+	}
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// publish stores a finished span in the ring.
+func (tr *Tracer) publish(sp *Span) {
+	i := tr.next.Add(1) - 1
+	tr.ring[i&uint64(len(tr.ring)-1)].Store(sp)
+}
+
+// Spans returns every finished span currently in the ring, oldest first
+// (by publication order within the retained window).
+func (tr *Tracer) Spans() []*Span {
+	n := tr.next.Load()
+	size := uint64(len(tr.ring))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	out := make([]*Span, 0, n-start)
+	for i := start; i < n; i++ {
+		if sp := tr.ring[i&(size-1)].Load(); sp != nil {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// TraceSpans returns the retained spans of one trace, sorted by start time
+// (ties by span ID, so the order is deterministic).
+func (tr *Tracer) TraceSpans(id TraceID) []*Span {
+	var out []*Span
+	for _, sp := range tr.Spans() {
+		if sp.trace == id {
+			out = append(out, sp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].start.Equal(out[j].start) {
+			return out[i].start.Before(out[j].start)
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// TraceSummary is one trace's /debug/traces listing entry.
+type TraceSummary struct {
+	Trace string    `json:"trace"`
+	Root  string    `json:"root"`  // name of the earliest retained span
+	Start time.Time `json:"start"` // earliest retained span start
+	DurNs int64     `json:"durationNs"`
+	Spans int       `json:"spans"`
+}
+
+// Traces summarizes the retained spans per trace, most recent first.
+func (tr *Tracer) Traces() []TraceSummary {
+	type agg struct {
+		first, last *Span
+		end         time.Time
+		n           int
+	}
+	byID := make(map[TraceID]*agg)
+	for _, sp := range tr.Spans() {
+		a := byID[sp.trace]
+		if a == nil {
+			a = &agg{first: sp}
+			byID[sp.trace] = a
+		}
+		if sp.start.Before(a.first.start) {
+			a.first = sp
+		}
+		if e := sp.start.Add(sp.dur); e.After(a.end) {
+			a.end = e
+		}
+		a.n++
+	}
+	out := make([]TraceSummary, 0, len(byID))
+	for id, a := range byID {
+		out = append(out, TraceSummary{
+			Trace: id.String(),
+			Root:  a.first.name,
+			Start: a.first.start,
+			DurNs: a.end.Sub(a.first.start).Nanoseconds(),
+			Spans: a.n,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.After(out[j].Start)
+		}
+		return out[i].Trace < out[j].Trace
+	})
+	return out
+}
+
+// Timer is a conditional stopwatch: started under the enabled gate, it
+// observes into a histogram only when it was actually started. The
+// disabled path is one atomic load and a zero-value struct — no time
+// syscall, no allocation.
+type Timer struct{ start time.Time }
+
+// StartTimer starts a stopwatch when observability is enabled.
+func StartTimer() Timer {
+	if !enabled.Load() {
+		return Timer{}
+	}
+	return Timer{start: time.Now()}
+}
+
+// Observe records the elapsed time into h. A timer from a disabled
+// StartTimer is a no-op.
+func (t Timer) Observe(h *Histogram) {
+	if t.start.IsZero() || h == nil {
+		return
+	}
+	h.observe(time.Since(t.start))
+}
+
+// Elapsed returns the stopwatch reading (0 when started disabled).
+func (t Timer) Elapsed() time.Duration {
+	if t.start.IsZero() {
+		return 0
+	}
+	return time.Since(t.start)
+}

@@ -1,0 +1,342 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// withEnabled flips the process-wide switch for one test and restores the
+// disabled default afterwards, so no test leaks tracing into another.
+func withEnabled(t *testing.T, on bool) {
+	t.Helper()
+	prev := Enabled()
+	SetEnabled(on)
+	t.Cleanup(func() { SetEnabled(prev) })
+}
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	if id.IsZero() {
+		t.Fatal("NewTraceID returned the zero ID")
+	}
+	s := id.String()
+	if len(s) != 32 {
+		t.Fatalf("String() = %q, want 32 hex digits", s)
+	}
+	back, ok := ParseTraceID(s)
+	if !ok || back != id {
+		t.Fatalf("ParseTraceID(%q) = %v, %v; want original id", s, back, ok)
+	}
+	if id2 := NewTraceID(); id2 == id {
+		t.Fatal("two NewTraceID calls returned the same ID")
+	}
+	for _, bad := range []string{"", "abc", strings.Repeat("0", 32), strings.Repeat("x", 32), strings.Repeat("a", 31)} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) accepted a malformed/zero ID", bad)
+		}
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	withEnabled(t, true)
+	_, sp := StartSpan(context.Background(), "root")
+	h := sp.Header()
+	if len(h) != 49 || h[32] != '-' {
+		t.Fatalf("Header() = %q, want 32-hex '-' 16-hex", h)
+	}
+	tr, parent, ok := ParseHeader(h)
+	if !ok || tr != sp.TraceID() || parent != sp.ID() {
+		t.Fatalf("ParseHeader(%q) = %v %x %v, want span's trace and id", h, tr, parent, ok)
+	}
+	for _, bad := range []string{
+		"", "short",
+		strings.Repeat("a", 49),                            // no dash at index 32
+		strings.Repeat("0", 32) + "-" + "0000000000000001", // zero trace
+		strings.Repeat("a", 32) + "-" + "zzzzzzzzzzzzzzzz", // bad span hex
+	} {
+		if _, _, ok := ParseHeader(bad); ok {
+			t.Errorf("ParseHeader(%q) accepted a malformed header", bad)
+		}
+	}
+}
+
+func TestNilSpanSafety(t *testing.T) {
+	var sp *Span
+	sp.SetAttr("k", "v")
+	sp.SetAttrInt("n", 7)
+	sp.End()
+	if sp.Header() != "" || sp.Attr("k") != "" || sp.Name() != "" || sp.ID() != 0 || !sp.TraceID().IsZero() {
+		t.Error("nil-span accessors must return zero values")
+	}
+	if ctx := ContextWithSpan(context.Background(), nil); SpanFromContext(ctx) != nil {
+		t.Error("ContextWithSpan(nil) must not attach a span")
+	}
+}
+
+func TestDisabledPathsAreInert(t *testing.T) {
+	withEnabled(t, false)
+	ctx := context.Background()
+	octx, sp := StartSpan(ctx, "x")
+	if sp != nil || octx != ctx {
+		t.Error("disabled StartSpan must return (ctx, nil) unchanged")
+	}
+	octx, sp = ContinueSpan(ctx, "whatever", "x")
+	if sp != nil || octx != ctx {
+		t.Error("disabled ContinueSpan must return (ctx, nil) unchanged")
+	}
+	h := NewHistogram(nil)
+	h.Observe(time.Millisecond)
+	tm := StartTimer()
+	if tm.Elapsed() != 0 {
+		t.Error("disabled Timer must read 0")
+	}
+	tm.Observe(h)
+	if h.Count() != 0 {
+		t.Errorf("disabled observations recorded: count=%d", h.Count())
+	}
+	if Trace(ctx) != "" {
+		t.Error("Trace of a bare context must be empty")
+	}
+}
+
+func TestSpanParentLinking(t *testing.T) {
+	withEnabled(t, true)
+	ctx, root := StartSpan(context.Background(), "root")
+	if root == nil || root.TraceID().IsZero() {
+		t.Fatal("enabled StartSpan must mint a traced span")
+	}
+	if Trace(ctx) != root.TraceID().String() {
+		t.Error("ctx must carry the root span's trace")
+	}
+	_, child := StartSpan(ctx, "child")
+	if child.TraceID() != root.TraceID() {
+		t.Error("child must inherit the parent's trace")
+	}
+	if child.parent != root.ID() {
+		t.Errorf("child.parent = %x, want root id %x", child.parent, root.ID())
+	}
+	if child.ID() == root.ID() {
+		t.Error("child must get its own span ID")
+	}
+}
+
+func TestContinueSpan(t *testing.T) {
+	withEnabled(t, true)
+	_, up := StartSpan(context.Background(), "client")
+	_, srv := ContinueSpan(context.Background(), up.Header(), "server")
+	if srv.TraceID() != up.TraceID() || srv.parent != up.ID() {
+		t.Errorf("ContinueSpan: trace %v parent %x, want upstream %v/%x",
+			srv.TraceID(), srv.parent, up.TraceID(), up.ID())
+	}
+	// A malformed (or absent) header mints a fresh trace: a daemon hit
+	// directly, without a gateway in front, still traces.
+	_, fresh := ContinueSpan(context.Background(), "not-a-header", "server")
+	if fresh.TraceID().IsZero() || fresh.TraceID() == up.TraceID() || fresh.parent != 0 {
+		t.Errorf("malformed header must start a fresh parentless trace, got %v/%x",
+			fresh.TraceID(), fresh.parent)
+	}
+}
+
+func TestSpanAttrs(t *testing.T) {
+	withEnabled(t, true)
+	_, sp := StartSpan(context.Background(), "s")
+	sp.SetAttr("outcome", "ok")
+	sp.SetAttrInt("index", 42)
+	sp.SetAttr("outcome", "retry") // last write wins
+	if got := sp.Attr("outcome"); got != "retry" {
+		t.Errorf("Attr(outcome) = %q, want retry", got)
+	}
+	if got := sp.Attr("index"); got != "42" {
+		t.Errorf("Attr(index) = %q, want 42", got)
+	}
+	if got := sp.Attr("absent"); got != "" {
+		t.Errorf("Attr(absent) = %q, want empty", got)
+	}
+}
+
+// publishSpan drops a synthetic finished span into tr.
+func publishSpan(tr *Tracer, trace TraceID, id uint64, name string, start time.Time) *Span {
+	sp := &Span{trace: trace, id: id, name: name, start: start, tracer: tr}
+	tr.publish(sp)
+	return sp
+}
+
+func TestRingWrap(t *testing.T) {
+	tr := NewTracer(16)
+	if len(tr.ring) != 16 {
+		t.Fatalf("ring size %d, want 16", len(tr.ring))
+	}
+	trace := NewTraceID()
+	base := time.Now()
+	for i := 1; i <= 20; i++ {
+		publishSpan(tr, trace, uint64(i), "s", base.Add(time.Duration(i)))
+	}
+	spans := tr.Spans()
+	if len(spans) != 16 {
+		t.Fatalf("retained %d spans, want ring size 16", len(spans))
+	}
+	// The 4 oldest were overwritten; retention is oldest-first from span 5.
+	for i, sp := range spans {
+		if want := uint64(i + 5); sp.ID() != want {
+			t.Fatalf("spans[%d].ID = %d, want %d", i, sp.ID(), want)
+		}
+	}
+}
+
+func TestTracerRoundsSizeUp(t *testing.T) {
+	if n := len(NewTracer(0).ring); n != 16 {
+		t.Errorf("NewTracer(0) ring = %d, want minimum 16", n)
+	}
+	if n := len(NewTracer(17).ring); n != 32 {
+		t.Errorf("NewTracer(17) ring = %d, want next power of two 32", n)
+	}
+}
+
+func TestTraceSpansOrder(t *testing.T) {
+	tr := NewTracer(16)
+	a, b := NewTraceID(), NewTraceID()
+	base := time.Now()
+	// Published out of start order, with a start-time tie inside trace a.
+	publishSpan(tr, a, 3, "late", base.Add(2*time.Second))
+	publishSpan(tr, b, 9, "other", base)
+	publishSpan(tr, a, 2, "tie-hi", base)
+	publishSpan(tr, a, 1, "tie-lo", base)
+	got := tr.TraceSpans(a)
+	if len(got) != 3 {
+		t.Fatalf("TraceSpans returned %d spans, want 3 (trace-filtered)", len(got))
+	}
+	if got[0].ID() != 1 || got[1].ID() != 2 || got[2].ID() != 3 {
+		t.Errorf("span order = [%d %d %d], want start order with ID tiebreak [1 2 3]",
+			got[0].ID(), got[1].ID(), got[2].ID())
+	}
+	if unknown := tr.TraceSpans(NewTraceID()); len(unknown) != 0 {
+		t.Errorf("unknown trace returned %d spans", len(unknown))
+	}
+}
+
+func TestTracesSummary(t *testing.T) {
+	tr := NewTracer(16)
+	a, b := NewTraceID(), NewTraceID()
+	base := time.Now()
+	sp := publishSpan(tr, a, 1, "roota", base)
+	sp.dur = 50 * time.Millisecond
+	sp2 := publishSpan(tr, a, 2, "childa", base.Add(10*time.Millisecond))
+	sp2.dur = 10 * time.Millisecond
+	publishSpan(tr, b, 3, "rootb", base.Add(time.Second))
+	sums := tr.Traces()
+	if len(sums) != 2 {
+		t.Fatalf("Traces() = %d summaries, want 2", len(sums))
+	}
+	// Most recent first.
+	if sums[0].Trace != b.String() || sums[1].Trace != a.String() {
+		t.Fatalf("summary order = [%s %s], want most recent first", sums[0].Trace, sums[1].Trace)
+	}
+	if sums[1].Root != "roota" || sums[1].Spans != 2 {
+		t.Errorf("trace a summary = %+v, want root=roota spans=2", sums[1])
+	}
+	if want := (50 * time.Millisecond).Nanoseconds(); sums[1].DurNs != want {
+		t.Errorf("trace a duration = %dns, want %d (envelope of its spans)", sums[1].DurNs, want)
+	}
+}
+
+func TestDebugTraceEndpoints(t *testing.T) {
+	tr := NewTracer(16)
+	trace := NewTraceID()
+	sp := publishSpan(tr, trace, 0xabc, "swarmd.run", time.Now())
+	sp.parent = 0x123
+	sp.attrs = []Attr{{Key: "key", Value: "des/hints/4"}}
+	sp.dur = time.Millisecond
+
+	mux := http.NewServeMux()
+	tr.Mount(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Enabled bool           `json:"enabled"`
+		Traces  []TraceSummary `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].Trace != trace.String() {
+		t.Fatalf("trace listing = %+v, want the one published trace", list.Traces)
+	}
+
+	resp2, err := http.Get(ts.URL + "/debug/traces/" + trace.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var got struct {
+		Trace string     `json:"trace"`
+		Spans []SpanJSON `json:"spans"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Spans) != 1 {
+		t.Fatalf("trace get returned %d spans, want 1", len(got.Spans))
+	}
+	s := got.Spans[0]
+	if s.Span != "0000000000000abc" || s.Parent != "0000000000000123" ||
+		s.Name != "swarmd.run" || s.DurNs != time.Millisecond.Nanoseconds() ||
+		len(s.Attrs) != 1 || s.Attrs[0].Value != "des/hints/4" {
+		t.Errorf("span JSON = %+v, want the published span's fields", s)
+	}
+
+	for _, path := range []string{"/debug/traces/nope", "/debug/traces/" + NewTraceID().String()} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]string{
+		"debug": "DEBUG", "": "INFO", "info": "INFO",
+		"warn": "WARN", "warning": "WARN", "error": "ERROR",
+	} {
+		lv, err := ParseLevel(in)
+		if err != nil || lv.String() != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %s", in, lv, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel must reject unknown levels")
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf strings.Builder
+	lg, err := NewLogger(&buf, 0, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "trace", "deadbeef")
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &rec); err != nil {
+		t.Fatalf("json log line does not parse: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["trace"] != "deadbeef" {
+		t.Errorf("log record = %v, want msg and trace attrs", rec)
+	}
+	if _, err := NewLogger(&buf, 0, "yaml"); err == nil {
+		t.Error("NewLogger must reject unknown formats")
+	}
+}

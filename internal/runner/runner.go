@@ -22,6 +22,7 @@ import (
 
 	"swarmhints/internal/hashutil"
 	"swarmhints/internal/metrics"
+	"swarmhints/internal/obs"
 	"swarmhints/swarm"
 )
 
@@ -119,7 +120,7 @@ func Sweep(ctx context.Context, jobs []Job, opt Options) []Result {
 					}
 					continue
 				}
-				results[i] = runOne(jobs[i], i, DeriveSeed(opt.Seed, i))
+				results[i] = runOne(ctx, jobs[i], i, DeriveSeed(opt.Seed, i))
 				if opt.OnResult != nil {
 					resultLock.Lock()
 					opt.OnResult(results[i])
@@ -137,9 +138,25 @@ func Sweep(ctx context.Context, jobs []Job, opt Options) []Result {
 }
 
 // runOne executes a single job, converting a panic into an error so one
-// broken configuration cannot take down the rest of the sweep.
-func runOne(j Job, index int, seed int64) (res Result) {
+// broken configuration cannot take down the rest of the sweep. Each job
+// is a span in the sweep's trace (ctx carries the caller's span through
+// Sweep), tagged with the job name, index, derived seed, and outcome.
+func runOne(ctx context.Context, j Job, index int, seed int64) (res Result) {
 	res = Result{Index: index, Name: j.Name, Labels: j.Labels, Seed: seed}
+	_, sp := obs.StartSpan(ctx, "runner.job")
+	sp.SetAttr("job", j.Name)
+	sp.SetAttrInt("index", int64(index))
+	sp.SetAttrInt("seed", seed)
+	// Registered before the recover defer, so it runs after it (LIFO) and
+	// sees the panic already converted into res.Err.
+	defer func() {
+		if res.Err != nil {
+			sp.SetAttr("outcome", "error")
+		} else {
+			sp.SetAttr("outcome", "ok")
+		}
+		sp.End()
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			res.Stats = nil

@@ -6,7 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 
 	"swarmhints/internal/bench"
@@ -14,6 +14,7 @@ import (
 	"swarmhints/internal/exp"
 	"swarmhints/internal/fault"
 	"swarmhints/internal/metrics"
+	"swarmhints/internal/obs"
 	"swarmhints/internal/runner"
 	"swarmhints/swarm"
 	"swarmhints/swarm/api"
@@ -36,10 +37,22 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/experiments/{id}", s.admit(s.handleExperiment))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	obs.Default.Mount(mux)
 	if s.opt.FaultAdmin {
 		mux.Handle("/v1/faults", fault.AdminHandler(fault.Default))
 	}
 	return mux
+}
+
+// traced continues the trace the gateway sent in the X-Swarm-Trace header
+// (minting a fresh one for direct callers) and echoes the trace on the
+// response. Callers must End the returned span.
+func traced(w http.ResponseWriter, r *http.Request, name string) (context.Context, *obs.Span) {
+	ctx, sp := obs.ContinueSpan(r.Context(), r.Header.Get(api.TraceHeader), name)
+	if sp != nil {
+		w.Header().Set(api.TraceHeader, sp.Header())
+	}
+	return ctx, sp
 }
 
 // admit is the bounded-admission gate in front of every work-bearing
@@ -165,18 +178,24 @@ func ParseSweep(req api.SweepRequest) ([]exp.Point, bench.Scale, int64, *api.Err
 // and store-tiered under its own per-seed key — and answers with the
 // merged record.
 func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
+	ctx, sp := traced(w, r, "swarmd.run")
+	defer sp.End()
+	pt := obs.StartTimer()
 	var req api.RunRequest
 	if aerr := api.DecodeRequest(w, r, &req); aerr != nil {
+		pt.Observe(s.histParse)
 		api.WriteError(w, aerr)
 		return
 	}
 	cfg, aerr := ParseRun(req)
+	pt.Observe(s.histParse)
 	if aerr != nil {
 		api.WriteError(w, aerr)
 		return
 	}
+	sp.SetAttr("key", cfg.Key())
 	if f, ok := s.siteSlow.Fire(); ok {
-		if err := f.Sleep(r.Context()); err != nil {
+		if err := f.Sleep(ctx); err != nil {
 			api.WriteError(w, runError(err))
 			return
 		}
@@ -189,10 +208,10 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 	var src Source
 	var err error
 	if req.Seeds > 1 {
-		st, err = s.RunSeeds(r.Context(), cfg, req.Seeds)
+		st, err = s.RunSeeds(ctx, cfg, req.Seeds)
 		src = SourceMerged
 	} else {
-		st, src, err = s.Stats(r.Context(), cfg)
+		st, src, err = s.Stats(ctx, cfg)
 	}
 	if err != nil {
 		api.WriteError(w, runError(err))
@@ -207,6 +226,7 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Swarmd-Source", string(src))
+	sp.SetAttr("source", string(src))
 	_, _ = w.Write(buf.Bytes())
 }
 
@@ -215,16 +235,22 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 // i is written as soon as records 0..i have all completed, so output order
 // is deterministic for any worker count even though completion order is not.
 func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	ctx, sp := traced(w, r, "swarmd.sweep")
+	defer sp.End()
+	pt := obs.StartTimer()
 	var req api.SweepRequest
 	if aerr := api.DecodeRequest(w, r, &req); aerr != nil {
+		pt.Observe(s.histParse)
 		api.WriteError(w, aerr)
 		return
 	}
 	points, scale, seed, aerr := ParseSweep(req)
+	pt.Observe(s.histParse)
 	if aerr != nil {
 		api.WriteError(w, aerr)
 		return
 	}
+	sp.SetAttrInt("points", int64(len(points)))
 	format := req.Format
 	if format == "" {
 		format = "ndjson"
@@ -232,9 +258,9 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	switch format {
 	case "ndjson":
-		s.streamSweep(w, r.Context(), points, scale, seed)
+		s.streamSweep(w, ctx, points, scale, seed)
 	case "json", "csv":
-		stats, err := s.runAll(r.Context(), points, scale, seed)
+		stats, err := s.runAll(ctx, points, scale, seed)
 		if err != nil {
 			api.WriteError(w, runError(err))
 			return
@@ -305,8 +331,11 @@ func (s *Service) streamSweep(w http.ResponseWriter, ctx context.Context, points
 		api.WriteError(w, api.Errorf(api.CodeInternal, "%v", err))
 		return
 	}
-	if _, err := w.Write(header); err != nil {
+	written := int64(0)
+	if n, err := w.Write(header); err != nil {
 		return
+	} else {
+		written += int64(n)
 	}
 	flush := func() {}
 	if f, ok := w.(http.Flusher); ok {
@@ -374,7 +403,9 @@ func (s *Service) streamSweep(w http.ResponseWriter, ctx context.Context, points
 						return
 					}
 				}
-				if _, err := w.Write(lines[next]); err != nil {
+				n, err := w.Write(lines[next])
+				written += int64(n)
+				if err != nil {
 					streamErr = err
 					cancel()
 					return
@@ -389,7 +420,13 @@ func (s *Service) streamSweep(w http.ResponseWriter, ctx context.Context, points
 		streamErr = runner.FirstErr(results)
 	}
 	if streamErr != nil {
-		log.Printf("swarmd: sweep stream aborted: %v", streamErr)
+		slog.Error("sweep stream aborted",
+			"component", "swarmd",
+			"trace", obs.Trace(ctx),
+			"point", next,
+			"points", len(points),
+			"bytes", written,
+			"err", streamErr)
 		return
 	}
 	if trailer, err := api.EncodeTrailer(len(points)); err == nil {
@@ -417,17 +454,24 @@ func (s *Service) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
 // from cache. format "text" returns the human-readable tables; the
 // machine-readable formats return the same export the CLI emits.
 func (s *Service) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	ctx, sp := traced(w, r, "swarmd.experiment")
+	defer sp.End()
+	pt := obs.StartTimer()
 	e, err := exp.Find(r.PathValue("id"))
 	if err != nil {
+		pt.Observe(s.histParse)
 		api.WriteError(w, api.Errorf(api.CodeUnknownExperiment, "%v", err))
 		return
 	}
+	sp.SetAttr("experiment", e.ID)
 	var req api.ExperimentRequest
 	if aerr := api.DecodeRequest(w, r, &req); aerr != nil {
+		pt.Observe(s.histParse)
 		api.WriteError(w, aerr)
 		return
 	}
 	scale, seed, aerr := parseHarness(req.Scale, req.Seed)
+	pt.Observe(s.histParse)
 	if aerr != nil {
 		api.WriteError(w, aerr)
 		return
@@ -463,7 +507,7 @@ func (s *Service) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	if format != "text" {
 		tableOut = io.Discard
 	}
-	if err := e.Run(r.Context(), runner, tableOut); err != nil {
+	if err := e.Run(ctx, runner, tableOut); err != nil {
 		api.WriteError(w, runError(err))
 		return
 	}

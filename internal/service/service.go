@@ -23,8 +23,23 @@ import (
 	"swarmhints/internal/exp"
 	"swarmhints/internal/fault"
 	"swarmhints/internal/metrics"
+	"swarmhints/internal/obs"
 	"swarmhints/internal/store"
 	"swarmhints/swarm"
+)
+
+// Stage labels of the swarmd_stage_duration_seconds histogram family: the
+// request-path phases every /v1 work request decomposes into. parse is
+// body decode + validation, cache is the LRU probe, store is the
+// persistent-tier probe, coalesce is time spent attached to another
+// request's in-flight run, execute is the simulation itself (including
+// the wait for a worker slot).
+const (
+	stageParse    = "parse"
+	stageCache    = "cache"
+	stageStore    = "store"
+	stageCoalesce = "coalesce"
+	stageExecute  = "execute"
 )
 
 // Config is one fully specified simulation configuration: a harness point
@@ -154,6 +169,16 @@ type Service struct {
 	siteStall    *fault.Site // swarmd.stream.stall: stall/kill a sweep mid-NDJSON
 	siteOverload *fault.Site // swarmd.overload: force the admission bound shut
 
+	// Request-stage latency histograms (internal/obs), resolved once like
+	// the fault sites so observing stays allocation-free. stageVec renders
+	// the family on /metrics.
+	stageVec     *obs.HistVec
+	histParse    *obs.Histogram
+	histCache    *obs.Histogram
+	histStore    *obs.Histogram
+	histCoalesce *obs.Histogram
+	histExecute  *obs.Histogram
+
 	mu      sync.Mutex
 	cache   *lru
 	flights map[string]*flight
@@ -170,7 +195,7 @@ func New(opt Options) *Service {
 		opt.CacheEntries = 4096
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Service{
+	s := &Service{
 		opt:     opt,
 		ctx:     ctx,
 		cancel:  cancel,
@@ -184,7 +209,17 @@ func New(opt Options) *Service {
 		siteErr:      fault.Scoped(fault.Default, opt.FaultScope, "swarmd.run.err"),
 		siteStall:    fault.Scoped(fault.Default, opt.FaultScope, "swarmd.stream.stall"),
 		siteOverload: fault.Scoped(fault.Default, opt.FaultScope, "swarmd.overload"),
+
+		stageVec: obs.NewHistVec("swarmd_stage_duration_seconds",
+			"Request-path stage latency.", "stage", nil,
+			stageParse, stageCache, stageStore, stageCoalesce, stageExecute),
 	}
+	s.histParse = s.stageVec.With(stageParse)
+	s.histCache = s.stageVec.With(stageCache)
+	s.histStore = s.stageVec.With(stageStore)
+	s.histCoalesce = s.stageVec.With(stageCoalesce)
+	s.histExecute = s.stageVec.With(stageExecute)
+	return s
 }
 
 // Context returns the service's lifetime context. HTTP servers should use
@@ -236,18 +271,22 @@ func (s *Service) attachLocked(f *flight, ctx context.Context, leader bool) (rel
 func (s *Service) Stats(ctx context.Context, cfg Config) (*swarm.Stats, Source, error) {
 	key := cfg.Key()
 	for {
+		ct := obs.StartTimer()
 		s.mu.Lock()
 		if st, ok := s.cache.get(key); ok {
 			s.mu.Unlock()
+			ct.Observe(s.histCache)
 			s.hits.Add(1)
 			return st, SourceCache, nil
 		}
 		f, ok := s.flights[key]
 		if !ok {
+			ct.Observe(s.histCache)
 			break // become the leader below (still holding s.mu)
 		}
 		release, live := s.attachLocked(f, ctx, false)
 		s.mu.Unlock()
+		ct.Observe(s.histCache)
 		if !live {
 			// Every caller abandoned this flight and its cancellation is in
 			// progress; wait for it to clear the map and start fresh.
@@ -260,16 +299,24 @@ func (s *Service) Stats(ctx context.Context, cfg Config) (*swarm.Stats, Source, 
 		}
 		s.coalesced.Add(1)
 		defer release()
+		wt := obs.StartTimer()
 		select {
 		case <-f.done:
+			wt.Observe(s.histCoalesce)
 			return f.st, SourceCoalesced, f.err
 		case <-ctx.Done():
+			wt.Observe(s.histCoalesce)
 			return nil, SourceCoalesced, ctx.Err()
 		}
 	}
 	f := &flight{done: make(chan struct{})}
 	fctx, fcancel := context.WithCancel(s.ctx)
 	f.cancel = fcancel
+	// The flight context derives from the service lifetime (not the
+	// request) so coalesced followers survive the leader's disconnect —
+	// but it should still carry the leader's trace identity, so the
+	// store-probe, execute, and runner spans land in the request's trace.
+	fctx = obs.ContextWithSpan(fctx, obs.SpanFromContext(ctx))
 	release, _ := s.attachLocked(f, ctx, true)
 	defer release()
 	s.flights[key] = f
@@ -277,13 +324,30 @@ func (s *Service) Stats(ctx context.Context, cfg Config) (*swarm.Stats, Source, 
 
 	src := SourceRun
 	if s.opt.Store != nil {
-		if st, ok := s.opt.Store.GetStats(key); ok {
-			f.st, src = st, SourceStore
+		st := obs.StartTimer()
+		_, ssp := obs.StartSpan(fctx, "swarmd.store.probe")
+		got, ok := s.opt.Store.GetStats(key)
+		if ssp != nil {
+			if ok {
+				ssp.SetAttr("hit", "true")
+			} else {
+				ssp.SetAttr("hit", "false")
+			}
+			ssp.End()
+		}
+		st.Observe(s.histStore)
+		if ok {
+			f.st, src = got, SourceStore
 		}
 	}
 	if src == SourceRun {
 		s.misses.Add(1)
-		f.st, f.err = s.execute(fctx, cfg)
+		et := obs.StartTimer()
+		ectx, esp := obs.StartSpan(fctx, "swarmd.execute")
+		esp.SetAttr("key", key)
+		f.st, f.err = s.execute(ectx, cfg)
+		esp.End()
+		et.Observe(s.histExecute)
 		if f.err == nil && s.opt.Store != nil {
 			// Write-through, best effort: an unwritable store degrades to a
 			// read tier (its write-error counter records the failures), it
@@ -442,6 +506,7 @@ func (s *Service) PromMetrics() []metrics.PromMetric {
 		metrics.PromSingle("swarmd_shed_total", "Requests rejected 429 overloaded at the admission bound.", "counter", float64(c.Shed)),
 		metrics.PromPerLabel("swarmd_runs_total", "Completed simulations by benchmark.", "bench", c.RunsByBench),
 		metrics.PromPerLabel("swarmd_experiment_runs_total", "Experiment endpoint invocations by id.", "id", c.ExperimentRuns),
+		s.stageVec.Prom(),
 	}
 	if s.opt.Store != nil {
 		st := c.Store
@@ -459,6 +524,7 @@ func (s *Service) PromMetrics() []metrics.PromMetric {
 			metrics.PromSingle("swarmd_store_degraded_skips_total", "Write-throughs skipped while the store was degraded.", "counter", float64(st.DegradedSkips)),
 			metrics.PromSingle("swarmd_store_bytes", "Resident record bytes in the persistent store.", "gauge", float64(st.Bytes)),
 			metrics.PromSingle("swarmd_store_records", "Resident records in the persistent store.", "gauge", float64(st.Records)),
+			store.PromOps(),
 		)
 	}
 	return fams

@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -57,8 +58,28 @@ import (
 
 	"swarmhints/internal/fault"
 	"swarmhints/internal/metrics"
+	"swarmhints/internal/obs"
 	"swarmhints/swarm"
 )
+
+// Disk-operation latency histograms (internal/obs), process-wide like the
+// span ring: every store handle in the process observes into one family,
+// which swarmd renders as swarmd_store_op_duration_seconds on /metrics.
+// read covers the whole lookup (file read + validation + inflate), write
+// covers the atomic write path end to end, fsync isolates the sync call
+// inside it.
+var (
+	opVec = obs.NewHistVec("swarmd_store_op_duration_seconds",
+		"Persistent-store disk operation latency.", "op", nil,
+		"read", "write", "fsync")
+	histRead  = opVec.With("read")
+	histWrite = opVec.With("write")
+	histFsync = opVec.With("fsync")
+)
+
+// PromOps renders the process-wide store operation-latency histogram
+// family for a /metrics endpoint.
+func PromOps() metrics.PromMetric { return opVec.Prom() }
 
 // Magic is the first header line of every record file; bump the suffix on
 // any layout change so old records read as misses instead of garbage.
@@ -394,6 +415,8 @@ func (s *Store) read(key string) ([]byte, error) {
 	if f, ok := s.siteRead.Fire(); ok && f.Err != nil {
 		return nil, f.Err
 	}
+	t := obs.StartTimer()
+	defer t.Observe(histRead)
 	data, err := os.ReadFile(s.Path(key))
 	if err != nil {
 		return nil, err
@@ -458,6 +481,8 @@ func (s *Store) quarantine(key string) {
 	s.quarantined.Add(1)
 	s.records.Add(-1)
 	s.bytes.Add(-int64(len(data)))
+	slog.Warn("store record quarantined",
+		"component", "store", "key", key, "path", path+badExt, "bytes", len(data))
 }
 
 // Put writes the payload for key: temp file in the record's directory,
@@ -480,7 +505,10 @@ func (s *Store) Put(key string, payload []byte) error {
 	}
 	rec := encodeRecord(key, payload)
 	path := s.Path(key)
-	if err := s.writeFile(path, rec); err != nil {
+	wt := obs.StartTimer()
+	err := s.writeFile(path, rec)
+	wt.Observe(histWrite)
+	if err != nil {
 		s.writeErrors.Add(1)
 		s.noteWriteFailure()
 		return fmt.Errorf("store: %w", err)
@@ -516,6 +544,9 @@ func (s *Store) noteWriteFailure() {
 	if s.degradeAfter > 0 && n >= int64(s.degradeAfter) && s.degraded.CompareAndSwap(false, true) {
 		s.degradeTrips.Add(1)
 		s.nextProbe.Store(time.Now().Add(s.reprobe).UnixNano())
+		slog.Error("store tripped into degraded (read-only) mode",
+			"component", "store", "dir", s.dir,
+			"consecutiveWriteFailures", n, "reprobeInterval", s.reprobe)
 	}
 }
 
@@ -523,7 +554,10 @@ func (s *Store) noteWriteFailure() {
 // successful probe write is the recovery signal.
 func (s *Store) noteWriteSuccess() {
 	s.consecWriteFails.Store(0)
-	s.degraded.Store(false)
+	if s.degraded.CompareAndSwap(true, false) {
+		slog.Info("store degraded mode lifted by a successful probe write",
+			"component", "store", "dir", s.dir)
+	}
 }
 
 // writeFile is the atomic write: unique temp name (pid + per-handle
@@ -550,7 +584,9 @@ func (s *Store) writeFile(path string, rec []byte) error {
 	}
 	_, err = f.Write(rec)
 	if err == nil {
+		ft := obs.StartTimer()
 		err = f.Sync()
+		ft.Observe(histFsync)
 		if ff, ok := s.siteFsync.Fire(); ok && ff.Err != nil && err == nil {
 			err = ff.Err
 		}

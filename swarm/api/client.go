@@ -10,7 +10,16 @@ import (
 	"strings"
 
 	"swarmhints/internal/metrics"
+	"swarmhints/internal/obs"
 )
+
+// TraceHeader carries trace propagation between tiers: the value is
+// "<32-hex trace id>-<16-hex parent span id>" (obs.Span.Header). The
+// client attaches it to every POST when the request context carries a
+// span; servers continue the trace with obs.ContinueSpan and echo the
+// request's trace on the response so callers can look it up under
+// /debug/traces/{id}.
+const TraceHeader = "X-Swarm-Trace"
 
 // Client is a typed client of the swarmd/swarmgate HTTP surface. Every
 // failure it returns is (or wraps) an *Error, so callers can route on
@@ -47,6 +56,9 @@ func (c *Client) post(ctx context.Context, path string, body any) (*http.Respons
 		return nil, &Error{Code: CodeBadRequest, Message: err.Error()}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if h := obs.SpanFromContext(ctx).Header(); h != "" {
+		req.Header.Set(TraceHeader, h)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, &Error{Code: CodeUnavailable, Message: err.Error(), Retryable: true}
